@@ -1,0 +1,57 @@
+// Command pactrain-bench regenerates the tables and figures of the
+// PacTrain paper's evaluation section.
+//
+// Usage:
+//
+//	pactrain-bench -exp fig3              # Fig. 3 TTA grid (all bandwidths)
+//	pactrain-bench -exp fig5              # Fig. 5 accuracy-vs-time curves
+//	pactrain-bench -exp fig6              # Fig. 6 pruning-ratio sweep
+//	pactrain-bench -exp table1            # Table 1 property matrix
+//	pactrain-bench -exp ablation-mt       # Mask Tracker window ablation
+//	pactrain-bench -exp all -quick        # everything, fast settings
+//
+// Full-fidelity runs train the four lite-twin models for 12 epochs each and
+// take minutes of wall time; -quick substitutes the MLP twin and finishes
+// in seconds while exercising identical code paths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pactrain"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|all")
+	quick := flag.Bool("quick", false, "fast settings (MLP twin, smaller sweeps)")
+	world := flag.Int("world", 8, "number of distributed workers")
+	samples := flag.Int("samples", 0, "synthetic training samples (0 = preset default)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	opt := pactrain.Options{
+		Quick:   *quick,
+		World:   *world,
+		Samples: *samples,
+		Seed:    *seed,
+	}
+	if !*quiet {
+		opt.Log = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = pactrain.ExperimentIDs()
+	}
+	for _, id := range ids {
+		report, err := pactrain.Experiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n\n%s\n", id, report.Render())
+	}
+}

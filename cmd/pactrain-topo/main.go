@@ -1,0 +1,117 @@
+// Command pactrain-topo inspects the simulated network: it prints the
+// topology, quotes point-to-point transfer times, and estimates one
+// gradient synchronization for each paper model under every aggregation
+// primitive — a what-if calculator for the communication side of the
+// paper's evaluation.
+//
+// Example:
+//
+//	pactrain-topo -bw 100mbps
+//	pactrain-topo -topology flat -world 4 -bw 1gbps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pactrain/internal/collective"
+	"pactrain/internal/metrics"
+	"pactrain/internal/netsim"
+	"pactrain/internal/nn"
+)
+
+func parseBandwidth(s string) (float64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(s, "gbps"):
+		var v float64
+		if _, err := fmt.Sscanf(s, "%fgbps", &v); err != nil {
+			return 0, err
+		}
+		return v * netsim.Gbps, nil
+	case strings.HasSuffix(s, "mbps"):
+		var v float64
+		if _, err := fmt.Sscanf(s, "%fmbps", &v); err != nil {
+			return 0, err
+		}
+		return v * netsim.Mbps, nil
+	}
+	return 0, fmt.Errorf("bandwidth %q must end in mbps or gbps", s)
+}
+
+func main() {
+	topoName := flag.String("topology", "fig4", "fig4|flat")
+	bw := flag.String("bw", "1gbps", "bottleneck (fig4) or uniform (flat) bandwidth")
+	world := flag.Int("world", 8, "worker count")
+	batch := flag.Int("batch", 32, "per-GPU batch size for the compute estimate")
+	flag.Parse()
+
+	bandwidth, err := parseBandwidth(*bw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-topo: %v\n", err)
+		os.Exit(1)
+	}
+
+	var topo *netsim.Topology
+	switch *topoName {
+	case "fig4":
+		topo = netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: bandwidth})
+	case "flat":
+		topo = netsim.FlatTopology(*world, bandwidth, 1e-4)
+	default:
+		fmt.Fprintf(os.Stderr, "pactrain-topo: unknown topology %q\n", *topoName)
+		os.Exit(1)
+	}
+	hosts := topo.Hosts()
+	if len(hosts) < *world {
+		fmt.Fprintf(os.Stderr, "pactrain-topo: topology has %d hosts for %d workers\n", len(hosts), *world)
+		os.Exit(1)
+	}
+	hosts = hosts[:*world]
+
+	fmt.Printf("topology %s, %d nodes, %d links, %d workers\n\n", *topoName, len(topo.Nodes), len(topo.Links), *world)
+	for _, l := range topo.Links {
+		fmt.Printf("  %-10s — %-10s  %8s  %.0fµs\n",
+			topo.Nodes[l.A].Name, topo.Nodes[l.B].Name,
+			fmtBw(l.BandwidthBps), l.LatencySec*1e6)
+	}
+
+	fabric := netsim.NewFabric(topo)
+	fmt.Printf("\npoint-to-point quotes (10 MiB payload):\n")
+	pairs := [][2]int{{0, 1}, {0, *world - 1}}
+	for _, p := range pairs {
+		dt, err := fabric.TransferTime(hosts[p[0]], hosts[p[1]], 10<<20, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-topo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %s → %s: %s\n", topo.Nodes[hosts[p[0]]].Name, topo.Nodes[hosts[p[1]]].Name,
+			metrics.FormatSeconds(dt))
+	}
+
+	fmt.Printf("\nper-iteration gradient synchronization estimates:\n")
+	tb := metrics.NewTable("", "model", "grad size", "ring all-reduce", "PS", "PacTrain(0.5)+ternary", "compute/iter")
+	for _, prof := range nn.Profiles() {
+		n := int(prof.Params)
+		fresh := func() *netsim.Fabric { return netsim.NewFabric(topo) }
+		ar := collective.CostRingAllReduce(fresh(), hosts, n, collective.WireFP32, 0)
+		ps := collective.CostPSAggregate(fresh(), hosts, n, collective.WireFP32, 0)
+		pac := collective.CostRingAllReduce(fresh(), hosts, n/2, collective.WireInt8, 0)
+		iterCompute := float64(prof.FLOPsPerSample) * float64(*batch) * 3 / (37.4e12 * 0.35)
+		tb.AddRow(prof.Name,
+			metrics.FormatBytes(float64(prof.GradBytes())),
+			metrics.FormatSeconds(ar), metrics.FormatSeconds(ps), metrics.FormatSeconds(pac),
+			metrics.FormatSeconds(iterCompute))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\n(compute model: A40 @ 37.4 TFLOP/s fp32, 35%% efficiency, backward = 2× forward)\n")
+}
+
+func fmtBw(bps float64) string {
+	if bps >= netsim.Gbps {
+		return fmt.Sprintf("%g Gbps", bps/netsim.Gbps)
+	}
+	return fmt.Sprintf("%g Mbps", bps/netsim.Mbps)
+}

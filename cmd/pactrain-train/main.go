@@ -1,0 +1,121 @@
+// Command pactrain-train runs a single distributed training job with full
+// control over the workload, aggregation scheme, pruning configuration, and
+// simulated network, and reports the accuracy trajectory against simulated
+// time.
+//
+// Examples:
+//
+//	pactrain-train -model ResNet152 -scheme pactrain-ternary -bw 100mbps
+//	pactrain-train -model VGG19 -scheme topk-0.01 -epochs 8 -world 4
+//	pactrain-train -model MLP -scheme all-reduce -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pactrain"
+	"pactrain/internal/metrics"
+)
+
+func parseBandwidth(s string) (float64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(s, "gbps"):
+		var v float64
+		if _, err := fmt.Sscanf(s, "%fgbps", &v); err != nil {
+			return 0, err
+		}
+		return v * pactrain.Gbps, nil
+	case strings.HasSuffix(s, "mbps"):
+		var v float64
+		if _, err := fmt.Sscanf(s, "%fmbps", &v); err != nil {
+			return 0, err
+		}
+		return v * pactrain.Mbps, nil
+	}
+	return 0, fmt.Errorf("bandwidth %q must end in mbps or gbps", s)
+}
+
+func main() {
+	model := flag.String("model", "ResNet18", "workload: VGG19|ResNet18|ResNet152|ViT-Base-16|MLP")
+	scheme := flag.String("scheme", "pactrain-ternary", "aggregation scheme (see pactrain.Schemes)")
+	bw := flag.String("bw", "1gbps", "Fig. 4 bottleneck bandwidth, e.g. 100mbps, 500mbps, 1gbps")
+	world := flag.Int("world", 8, "number of workers")
+	epochs := flag.Int("epochs", 12, "training epochs")
+	batch := flag.Int("batch", 8, "per-worker batch size")
+	lr := flag.Float64("lr", 0.1, "base learning rate (cosine-annealed)")
+	pruneRatio := flag.Float64("prune-ratio", 0.5, "PacTrain pruning ratio")
+	pruneMethod := flag.String("prune-method", "global-magnitude", "global-magnitude|layer-magnitude|grasp")
+	pretrain := flag.Int("pretrain-epochs", 1, "dense warm-up epochs before pruning")
+	window := flag.Int("stable-window", 2, "Mask Tracker stability window")
+	samples := flag.Int("samples", 1024, "synthetic training samples")
+	target := flag.Float64("target", 0.8, "target accuracy for TTA")
+	seed := flag.Uint64("seed", 1, "run seed")
+	csv := flag.Bool("csv", false, "emit the accuracy curve as CSV")
+	flag.Parse()
+
+	bottleneck, err := parseBandwidth(*bw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := pactrain.DefaultConfig(*model, *scheme)
+	cfg.World = *world
+	cfg.BottleneckBps = bottleneck
+	cfg.Epochs = *epochs
+	cfg.BatchSize = *batch
+	cfg.LR = *lr
+	cfg.PruneRatio = *pruneRatio
+	cfg.PretrainEpochs = *pretrain
+	cfg.StableWindow = *window
+	cfg.Data.Samples = *samples
+	cfg.TargetAcc = *target
+	cfg.Seed = *seed
+	switch *pruneMethod {
+	case "global-magnitude":
+		cfg.PruneMethod = pactrain.GlobalMagnitude
+	case "layer-magnitude":
+		cfg.PruneMethod = pactrain.LayerMagnitude
+	case "grasp":
+		cfg.PruneMethod = pactrain.GraSP
+	default:
+		fmt.Fprintf(os.Stderr, "pactrain-train: unknown prune method %q\n", *pruneMethod)
+		os.Exit(1)
+	}
+
+	res, err := pactrain.Train(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		fmt.Print(res.Curve.CSV())
+		return
+	}
+
+	fmt.Printf("model        %s\n", res.Model)
+	fmt.Printf("scheme       %s\n", res.Scheme)
+	fmt.Printf("workers      %d @ %s bottleneck (Fig. 4)\n", *world, *bw)
+	fmt.Printf("iterations   %d over %d epochs\n", res.Iterations, res.EpochsRun)
+	fmt.Printf("final acc    %.3f (best %.3f)\n", res.FinalAcc, res.BestAcc)
+	fmt.Printf("sim time     %s\n", metrics.FormatSeconds(res.SimSeconds))
+	if res.ReachedTarget {
+		fmt.Printf("TTA(%.0f%%)     %s\n", *target*100, metrics.FormatSeconds(res.TTASeconds))
+	} else {
+		fmt.Printf("TTA(%.0f%%)     not reached (end of run: %s)\n", *target*100, metrics.FormatSeconds(res.TTASeconds))
+	}
+	fmt.Printf("comm time    %s across %d all-reduce / %d all-gather / %d PS ops\n",
+		metrics.FormatSeconds(res.Stats.SimSeconds),
+		res.Stats.AllReduceOps, res.Stats.AllGatherOps, res.Stats.PSOps)
+	fmt.Printf("wire bytes   %s total payload\n", metrics.FormatBytes(res.Stats.PayloadBytes))
+	if res.MaskSparsity > 0 {
+		fmt.Printf("mask         %.1f%% pruned, %.1f%% of syncs on compact path\n",
+			res.MaskSparsity*100, res.StableFraction*100)
+	}
+	fmt.Printf("wall time    %.1fs\n", res.WallSeconds)
+}

@@ -1,0 +1,63 @@
+// Bandwidth sweep: the paper's central experiment in miniature. Train one
+// workload under each aggregation scheme at 100 Mbps, 500 Mbps, and 1 Gbps
+// bottleneck links (the Fig. 4 topology) and report time-to-accuracy — the
+// crossover structure of Fig. 3: compression matters more as the network
+// gets slower, and schemes that hurt convergence (aggressive TopK) lose even
+// with tiny payloads.
+//
+//	go run ./examples/bandwidth-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pactrain"
+)
+
+func main() {
+	schemes := []string{"all-reduce", "fp16", "topk-0.01", "pactrain-ternary"}
+	bandwidths := []struct {
+		label string
+		bps   float64
+	}{
+		{"100 Mbps", 100 * pactrain.Mbps},
+		{"500 Mbps", 500 * pactrain.Mbps},
+		{"1 Gbps", 1 * pactrain.Gbps},
+	}
+
+	fmt.Printf("%-18s", "TTA(75%) \\ link")
+	for _, bw := range bandwidths {
+		fmt.Printf(" %12s", bw.label)
+	}
+	fmt.Println()
+
+	baseline := map[string]float64{}
+	for _, scheme := range schemes {
+		fmt.Printf("%-18s", scheme)
+		for _, bw := range bandwidths {
+			cfg := pactrain.DefaultConfig("MLP", scheme)
+			cfg.World = 4
+			cfg.BottleneckBps = bw.bps
+			cfg.Epochs = 6
+			cfg.Data.Samples = 512
+			cfg.TargetAcc = 0.75
+			res, err := pactrain.Train(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cell := fmt.Sprintf("%.2fs", res.TTASeconds)
+			if !res.ReachedTarget {
+				cell = ">" + cell
+			}
+			if scheme == "all-reduce" {
+				baseline[bw.label] = res.TTASeconds
+			} else if res.ReachedTarget {
+				cell += fmt.Sprintf(" (%.1f×)", baseline[bw.label]/res.TTASeconds)
+			}
+			fmt.Printf(" %12s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(×: speedup over all-reduce at the same bandwidth; > : target not reached)")
+}

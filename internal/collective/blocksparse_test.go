@@ -1,0 +1,111 @@
+package collective
+
+import (
+	"testing"
+
+	"pactrain/internal/netsim"
+)
+
+func TestBlockSparseSumCorrect(t *testing.T) {
+	world := 3
+	c := newTestCluster(world, netsim.Gbps)
+	n := 1024
+	results := make([][]float32, world)
+	runWorkers(world, func(rank int) {
+		vec := make([]float32, n)
+		// Each rank populates a different block plus one shared block.
+		vec[rank*256] = float32(rank + 1)
+		vec[768] = 1
+		_, _, _ = 0, 0, 0
+		own, union, _ := c.AllReduceBlockSparse(rank, vec, 256, 1, 0)
+		if own != 2 {
+			t.Errorf("rank %d own blocks %d, want 2", rank, own)
+		}
+		if union != 4 {
+			t.Errorf("rank %d union %d, want 4", rank, union)
+		}
+		results[rank] = vec
+	})
+	for rank, vec := range results {
+		if vec[0] != 1 || vec[256] != 2 || vec[512] != 3 {
+			t.Fatalf("rank %d sums wrong: %v %v %v", rank, vec[0], vec[256], vec[512])
+		}
+		if vec[768] != 3 {
+			t.Fatalf("rank %d shared block sum %v, want 3", rank, vec[768])
+		}
+	}
+}
+
+func TestBlockSparseCostScalesWithDensity(t *testing.T) {
+	n := 256 * 64 // 64 blocks
+	cost := func(denseBlocks int) float64 {
+		topo := netsim.FlatTopology(4, netsim.Gbps, 0)
+		c := NewCluster(4, netsim.NewFabric(topo))
+		var end float64
+		runWorkers(4, func(rank int) {
+			vec := make([]float32, n)
+			for b := 0; b < denseBlocks; b++ {
+				vec[b*256] = 1
+			}
+			_, _, e := c.AllReduceBlockSparse(rank, vec, 256, 1, 0)
+			if rank == 0 {
+				end = e
+			}
+		})
+		return end
+	}
+	sparse := cost(4)
+	dense := cost(64)
+	if dense <= sparse*4 {
+		t.Fatalf("dense blocks (%v) should cost ≫ sparse blocks (%v)", dense, sparse)
+	}
+}
+
+// TestBlockSparseLosesAtModerateSparsity verifies the paper's §II-B point:
+// at pruning-level sparsity (~50%), block-sparse streaming through an
+// aggregator costs more than plain ring all-reduce — OmniReduce needs ~1%
+// density to win.
+func TestBlockSparseLosesAtModerateSparsity(t *testing.T) {
+	world := 8
+	n := 256 * 128
+	// Half the blocks non-zero.
+	topoA := netsim.FlatTopology(world, netsim.Gbps, 0)
+	ca := NewCluster(world, netsim.NewFabric(topoA))
+	var bsEnd float64
+	runWorkers(world, func(rank int) {
+		vec := make([]float32, n)
+		for b := 0; b < 64; b++ {
+			vec[b*2*256] = 1
+		}
+		_, _, e := ca.AllReduceBlockSparse(rank, vec, 256, 1, 0)
+		if rank == 0 {
+			bsEnd = e
+		}
+	})
+	topoB := netsim.FlatTopology(world, netsim.Gbps, 0)
+	cb := NewCluster(world, netsim.NewFabric(topoB))
+	var arEnd float64
+	runWorkers(world, func(rank int) {
+		vec := make([]float32, n)
+		e := cb.AllReduceSum(rank, vec, WireFP32, 0)
+		if rank == 0 {
+			arEnd = e
+		}
+	})
+	if bsEnd <= arEnd {
+		t.Fatalf("block-sparse at 50%% density (%v) should lose to ring all-reduce (%v)", bsEnd, arEnd)
+	}
+}
+
+func TestNonZeroBlocksEdges(t *testing.T) {
+	// Tail block shorter than blockSize still detected.
+	vec := make([]float32, 300)
+	vec[299] = 1
+	blocks := nonZeroBlocks(vec, 256)
+	if len(blocks) != 1 || blocks[0] != 1 {
+		t.Fatalf("blocks %v, want [1]", blocks)
+	}
+	if got := nonZeroBlocks(make([]float32, 300), 256); len(got) != 0 {
+		t.Fatalf("all-zero vector has blocks %v", got)
+	}
+}

@@ -1,0 +1,321 @@
+// Package collective implements the gradient-aggregation primitives the
+// PacTrain paper builds on: ring all-reduce (reduce-scatter + all-gather),
+// ring all-gather for sparse (value,index) payloads, binomial-tree
+// broadcast, a parameter-server aggregation baseline, and barriers — all
+// executed for real across worker goroutines with every transfer costed
+// through the netsim fabric.
+//
+// Timing model. Each collective advances a simulated clock. A collective is
+// a synchronization point, so it starts at the maximum of the participants'
+// local clocks and every participant observes the same completion time. Ring
+// steps are costed as the maximum of the concurrent neighbor transfers; on a
+// full-duplex chain topology (Fig. 4) a unidirectional ring never puts two
+// same-step transfers on the same directed link, so the max-of-transfers
+// model is exact. Parameter-server ingress, by contrast, shares the server's
+// edge link, so its transfers are serialized — reproducing the incast that
+// makes PS aggregation scale worse than all-reduce (§I of the paper).
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"pactrain/internal/netsim"
+)
+
+// WireFormat describes how a logical element is represented on the wire.
+// Compressors choose the format; collectives only use it to cost transfers.
+type WireFormat struct {
+	Name string
+	// BytesPerElement is the wire cost of one logical element (4 for fp32,
+	// 2 for fp16, 0.25 for 2-bit ternary, 8 for value+index pairs...).
+	BytesPerElement float64
+	// HeaderBytes is a fixed per-message overhead (metadata, scale factors).
+	HeaderBytes float64
+}
+
+// Standard wire formats.
+var (
+	WireFP32 = WireFormat{Name: "fp32", BytesPerElement: 4}
+	WireFP16 = WireFormat{Name: "fp16", BytesPerElement: 2, HeaderBytes: 4}
+	// WireTernary is TernGrad's packed 2-bit representation plus a scale.
+	WireTernary = WireFormat{Name: "ternary", BytesPerElement: 0.25, HeaderBytes: 8}
+	// WireInt8 is a byte-per-element representation used when ternary sums
+	// must widen during all-reduce.
+	WireInt8 = WireFormat{Name: "int8", BytesPerElement: 1, HeaderBytes: 8}
+	// WireSparse is a COO (value,index) pair per element.
+	WireSparse = WireFormat{Name: "coo", BytesPerElement: 8, HeaderBytes: 8}
+)
+
+// MessageBytes returns the wire size of a message carrying n elements.
+func (w WireFormat) MessageBytes(n int) float64 {
+	return float64(n)*w.BytesPerElement + w.HeaderBytes
+}
+
+// Stats accumulates per-cluster communication totals.
+type Stats struct {
+	AllReduceOps  int
+	AllGatherOps  int
+	BroadcastOps  int
+	PSOps         int
+	BarrierOps    int
+	SimSeconds    float64 // total time spent inside collectives
+	PayloadBytes  float64 // logical payload bytes sent by all workers
+	PerWorkerSent float64 // payload bytes sent by each worker (symmetric ops)
+}
+
+// Cluster coordinates a fixed set of worker goroutines over a fabric. All
+// workers must call the same sequence of collective operations (SPMD), as
+// they would with NCCL.
+type Cluster struct {
+	world  int
+	fabric *netsim.Fabric
+	hosts  []netsim.NodeID
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	inputs  []any
+	times   []float64
+	result  any
+	outTime float64
+
+	stats Stats
+}
+
+// NewCluster builds a cluster of world workers mapped in rank order onto the
+// fabric's hosts. It panics if the topology has fewer hosts than workers.
+func NewCluster(world int, fabric *netsim.Fabric) *Cluster {
+	hosts := fabric.Topo.Hosts()
+	if len(hosts) < world {
+		panic(fmt.Sprintf("collective: topology has %d hosts for %d workers", len(hosts), world))
+	}
+	c := &Cluster{world: world, fabric: fabric, hosts: hosts[:world],
+		inputs: make([]any, world), times: make([]float64, world)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// World returns the number of workers.
+func (c *Cluster) World() int { return c.world }
+
+// Fabric returns the underlying fabric (for accounting inspection).
+func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// rendezvous gathers one input per rank, lets the last arrival run compute
+// exactly once over all inputs (with the synchronized start time), and
+// returns compute's result and completion time to every rank. It is a
+// reusable generation barrier.
+func (c *Cluster) rendezvous(rank int, input any, localTime float64,
+	compute func(inputs []any, start float64) (any, float64)) (any, float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := c.gen
+	c.inputs[rank] = input
+	c.times[rank] = localTime
+	c.arrived++
+	if c.arrived == c.world {
+		start := c.times[0]
+		for _, t := range c.times[1:] {
+			if t > start {
+				start = t
+			}
+		}
+		res, end := compute(c.inputs, start)
+		c.result = res
+		c.outTime = end
+		c.arrived = 0
+		c.gen++
+		c.inputs = make([]any, c.world)
+		c.cond.Broadcast()
+		return res, c.outTime
+	}
+	for c.gen == gen {
+		c.cond.Wait()
+	}
+	return c.result, c.outTime
+}
+
+// chunkRange returns the [from,to) element range of ring chunk idx when
+// splitting n elements into world chunks.
+func chunkRange(idx, n, world int) (int, int) {
+	base := n / world
+	rem := n % world
+	from := idx*base + min(idx, rem)
+	size := base
+	if idx < rem {
+		size++
+	}
+	return from, from + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AllReduceSum sums vec elementwise across all workers using a ring
+// all-reduce (reduce-scatter followed by all-gather), overwriting vec with
+// the global sum on every worker. wire selects the on-wire representation;
+// the returned time is the synchronized completion time.
+func (c *Cluster) AllReduceSum(rank int, vec []float32, wire WireFormat, localTime float64) float64 {
+	type arIn struct{ vec []float32 }
+	res, end := c.rendezvous(rank, arIn{vec}, localTime, func(inputs []any, start float64) (any, float64) {
+		n := len(vec)
+		sum := make([]float32, n)
+		for _, in := range inputs {
+			v := in.(arIn).vec
+			if len(v) != n {
+				panic("collective: AllReduceSum length mismatch across ranks")
+			}
+			for i, x := range v {
+				sum[i] += x
+			}
+		}
+		t := start + CostRingAllReduce(c.fabric, c.hosts, n, wire, start)
+		if c.world > 1 && n > 0 {
+			c.stats.PerWorkerSent += wire.MessageBytes(n) / float64(c.world) * 2 * float64(c.world-1)
+			c.stats.PayloadBytes += wire.MessageBytes(n) / float64(c.world) * 2 * float64(c.world-1) * float64(c.world)
+		}
+		c.stats.AllReduceOps++
+		c.stats.SimSeconds += t - start
+		return sum, t
+	})
+	copy(vec, res.([]float32))
+	return end
+}
+
+// SparsePayload carries one worker's sparse contribution to an all-gather.
+type SparsePayload struct {
+	Values  []float32
+	Indices []int32
+}
+
+// AllGatherSparse exchanges every worker's (values, indices) lists so each
+// worker holds all contributions, using a ring all-gather. This is the
+// transport TopK and DGC must use — sparse selections differ across workers,
+// so they cannot be summed in place by all-reduce (§I, Table 1).
+func (c *Cluster) AllGatherSparse(rank int, payload SparsePayload, wire WireFormat, localTime float64) ([]SparsePayload, float64) {
+	res, end := c.rendezvous(rank, payload, localTime, func(inputs []any, start float64) (any, float64) {
+		all := make([]SparsePayload, c.world)
+		for i, in := range inputs {
+			all[i] = in.(SparsePayload)
+		}
+		sizes := make([]int, c.world)
+		var total float64
+		for i := range all {
+			sizes[i] = len(all[i].Values)
+			total += wire.MessageBytes(sizes[i]) * float64(c.world-1)
+		}
+		t := start + CostRingAllGather(c.fabric, c.hosts, sizes, wire, start)
+		if c.world > 1 {
+			c.stats.PayloadBytes += total
+			c.stats.PerWorkerSent += total / float64(c.world)
+		}
+		c.stats.AllGatherOps++
+		c.stats.SimSeconds += t - start
+		return all, t
+	})
+	return res.([]SparsePayload), end
+}
+
+// Broadcast sends root's vector to all workers via a binomial tree,
+// overwriting vec on every non-root worker.
+func (c *Cluster) Broadcast(rank, root int, vec []float32, wire WireFormat, localTime float64) float64 {
+	type bcIn struct {
+		rank int
+		vec  []float32
+	}
+	res, end := c.rendezvous(rank, bcIn{rank, vec}, localTime, func(inputs []any, start float64) (any, float64) {
+		var src []float32
+		for _, in := range inputs {
+			b := in.(bcIn)
+			if b.rank == root {
+				src = b.vec
+			}
+		}
+		t := start
+		if c.world > 1 && len(src) > 0 {
+			msg := wire.MessageBytes(len(src))
+			t += CostBinomialBroadcast(c.fabric, c.hosts, root, msg, start)
+			c.stats.PayloadBytes += msg * float64(c.world-1)
+		}
+		c.stats.BroadcastOps++
+		c.stats.SimSeconds += t - start
+		return src, t
+	})
+	if rank != root {
+		copy(vec, res.([]float32))
+	}
+	return end
+}
+
+// PSAggregateSum implements the parameter-server baseline: every worker
+// sends its vector to the server (rank 0's host), which sums and returns the
+// result. Ingress transfers share the server's edge link and are therefore
+// serialized, and the response fan-out likewise — the incast bottleneck that
+// motivates all-reduce.
+func (c *Cluster) PSAggregateSum(rank int, vec []float32, wire WireFormat, localTime float64) float64 {
+	type psIn struct{ vec []float32 }
+	res, end := c.rendezvous(rank, psIn{vec}, localTime, func(inputs []any, start float64) (any, float64) {
+		n := len(vec)
+		sum := make([]float32, n)
+		for _, in := range inputs {
+			v := in.(psIn).vec
+			for i, x := range v {
+				sum[i] += x
+			}
+		}
+		t := start + CostPSAggregate(c.fabric, c.hosts, n, wire, start)
+		c.stats.PayloadBytes += wire.MessageBytes(n) * 2 * float64(c.world-1)
+		c.stats.PSOps++
+		c.stats.SimSeconds += t - start
+		return sum, t
+	})
+	copy(vec, res.([]float32))
+	return end
+}
+
+// Barrier synchronizes clocks: every worker observes the maximum local time.
+func (c *Cluster) Barrier(rank int, localTime float64) float64 {
+	_, end := c.rendezvous(rank, nil, localTime, func(_ []any, start float64) (any, float64) {
+		c.stats.BarrierOps++
+		return nil, start
+	})
+	return end
+}
+
+// BroadcastBitmap costs the distribution of a pruning/sparsity bitmap of n
+// logical bits from root to all workers (1 bit per element on the wire).
+// PacTrain pays this once per mask change (§III-C, DESIGN.md §4).
+func (c *Cluster) BroadcastBitmap(rank, root, n int, localTime float64) float64 {
+	return c.BroadcastScaledBitmap(rank, root, n, BitmapWire, localTime)
+}
+
+// BroadcastScaledBitmap is BroadcastBitmap with an explicit wire format, so
+// callers pricing a scaled-up model can cost the bitmap consistently.
+func (c *Cluster) BroadcastScaledBitmap(rank, root, n int, wire WireFormat, localTime float64) float64 {
+	type bmIn struct{ rank int }
+	_, end := c.rendezvous(rank, bmIn{rank}, localTime, func(_ []any, start float64) (any, float64) {
+		t := start
+		if c.world > 1 && n > 0 {
+			msg := wire.MessageBytes(n)
+			t += CostBinomialBroadcast(c.fabric, c.hosts, root, msg, start)
+			c.stats.PayloadBytes += msg * float64(c.world-1)
+		}
+		c.stats.BroadcastOps++
+		c.stats.SimSeconds += t - start
+		return nil, t
+	})
+	return end
+}

@@ -1,0 +1,128 @@
+package collective
+
+import "pactrain/internal/netsim"
+
+// This file exposes the pure timing models behind each collective as
+// standalone functions. The Cluster methods use them for in-situ timing, and
+// the experiment harness re-uses them to re-cost a recorded training run
+// under a different bandwidth without re-training (the convergence
+// trajectory is bandwidth-independent; only the clock changes).
+
+// ringStep costs one ring step in which host i sends bytes[i] to host i+1
+// concurrently, recording bytes on the fabric.
+func ringStep(f *netsim.Fabric, hosts []netsim.NodeID, bytes []float64, t float64) float64 {
+	var step float64
+	world := len(hosts)
+	for i := 0; i < world; i++ {
+		dst := (i + 1) % world
+		dt, err := f.TransferTime(hosts[i], hosts[dst], bytes[i], t)
+		if err != nil {
+			panic(err)
+		}
+		if dt > step {
+			step = dt
+		}
+	}
+	return step
+}
+
+// CostRingAllReduce returns the duration of a ring all-reduce of n elements
+// with the given wire format starting at time t.
+func CostRingAllReduce(f *netsim.Fabric, hosts []netsim.NodeID, n int, wire WireFormat, t float64) float64 {
+	world := len(hosts)
+	if world <= 1 || n == 0 {
+		return 0
+	}
+	start := t
+	bytes := make([]float64, world)
+	for s := 0; s < 2*(world-1); s++ {
+		for i := 0; i < world; i++ {
+			var ci int
+			if s < world-1 {
+				ci = ((i-s)%world + world) % world
+			} else {
+				ci = ((i+1-(s-(world-1)))%world + world) % world
+			}
+			from, to := chunkRange(ci, n, world)
+			bytes[i] = wire.MessageBytes(to - from)
+		}
+		t += ringStep(f, hosts, bytes, t)
+	}
+	return t - start
+}
+
+// CostRingAllGather returns the duration of a ring all-gather in which each
+// worker i contributes sizes[i] elements.
+func CostRingAllGather(f *netsim.Fabric, hosts []netsim.NodeID, sizes []int, wire WireFormat, t float64) float64 {
+	world := len(hosts)
+	if world <= 1 {
+		return 0
+	}
+	start := t
+	bytes := make([]float64, world)
+	for s := 0; s < world-1; s++ {
+		for i := 0; i < world; i++ {
+			origin := ((i-s)%world + world) % world
+			bytes[i] = wire.MessageBytes(sizes[origin])
+		}
+		t += ringStep(f, hosts, bytes, t)
+	}
+	return t - start
+}
+
+// CostBinomialBroadcast returns the duration of a binomial-tree broadcast of
+// msgBytes from root.
+func CostBinomialBroadcast(f *netsim.Fabric, hosts []netsim.NodeID, root int, msgBytes float64, t float64) float64 {
+	world := len(hosts)
+	if world <= 1 || msgBytes <= 0 {
+		return 0
+	}
+	start := t
+	for span := 1; span < world; span *= 2 {
+		var step float64
+		for rel := 0; rel < span && rel+span < world; rel++ {
+			from := (root + rel) % world
+			to := (root + rel + span) % world
+			dt, err := f.TransferTime(hosts[from], hosts[to], msgBytes, t)
+			if err != nil {
+				panic(err)
+			}
+			if dt > step {
+				step = dt
+			}
+		}
+		t += step
+	}
+	return t - start
+}
+
+// CostPSAggregate returns the duration of a parameter-server round trip for
+// n elements: serialized ingress from every worker to the server, then
+// serialized egress back. The serialization models the incast on the
+// server's edge link.
+func CostPSAggregate(f *netsim.Fabric, hosts []netsim.NodeID, n int, wire WireFormat, t float64) float64 {
+	world := len(hosts)
+	if world <= 1 || n == 0 {
+		return 0
+	}
+	start := t
+	msg := wire.MessageBytes(n)
+	for i := 1; i < world; i++ {
+		dt, err := f.TransferTime(hosts[i], hosts[0], msg, t)
+		if err != nil {
+			panic(err)
+		}
+		t += dt
+	}
+	for i := 1; i < world; i++ {
+		dt, err := f.TransferTime(hosts[0], hosts[i], msg, t)
+		if err != nil {
+			panic(err)
+		}
+		t += dt
+	}
+	return t - start
+}
+
+// BitmapWire is the wire format of a sparsity bitmap (1 bit per element).
+var BitmapWire = WireFormat{Name: "bitmap", BytesPerElement: 0.125, HeaderBytes: 8}

@@ -1,0 +1,198 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"pactrain/internal/collective"
+	"pactrain/internal/tensor"
+)
+
+// TernGrad quantizes each gradient coordinate to s·{−1, 0, +1} where
+// s = max|g| and P(±s) = |g|/s [Wen et al. 2017]. The quantization is
+// unbiased in expectation (Eq. 3 of the PacTrain paper). Sums of ternary
+// payloads remain integer multiples of the scales, so aggregation is
+// all-reduce compatible; the wire carries one byte per element to allow the
+// widening that summation across eight workers requires.
+type TernGrad struct {
+	rng *tensor.RNG
+}
+
+// NewTernGrad returns a TernGrad compressor with a deterministic stream.
+func NewTernGrad(seed uint64) *TernGrad {
+	return &TernGrad{rng: tensor.NewRNG(seed)}
+}
+
+// Name implements Compressor.
+func (*TernGrad) Name() string { return "terngrad" }
+
+// Transport implements Compressor.
+func (*TernGrad) Transport() Transport { return TransportAllReduce }
+
+// Wire implements Compressor.
+func (*TernGrad) Wire() collective.WireFormat { return collective.WireInt8 }
+
+// Lossless implements Compressor.
+func (*TernGrad) Lossless() bool { return false }
+
+// Encode implements DenseCompressor.
+func (t *TernGrad) Encode(grad []float32) []float32 {
+	out := make([]float32, len(grad))
+	Ternarize(t.rng, grad, out)
+	return out
+}
+
+// Decode implements DenseCompressor.
+func (*TernGrad) Decode(payload []float32, out []float32) { copy(out, payload) }
+
+// Ternarize writes the ternary quantization of grad into out (which may
+// alias grad): out[i] ∈ {−s, 0, +s} with E[out] = grad. It is exported so
+// PacTrain can reuse it on compacted gradients (§III-D).
+func Ternarize(rng *tensor.RNG, grad []float32, out []float32) {
+	var s float32
+	for _, v := range grad {
+		if a := abs32(v); a > s {
+			s = a
+		}
+	}
+	if s == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	for i, v := range grad {
+		p := float64(abs32(v) / s)
+		if rng.Float64() < p {
+			if v >= 0 {
+				out[i] = s
+			} else {
+				out[i] = -s
+			}
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// QSGD performs stochastic uniform quantization with L levels per sign
+// [Alistarh et al. 2017-style]: coordinates round stochastically to the
+// nearest lattice point of s·{0, 1/L, …, 1}, remaining unbiased. With
+// L = 256 the wire cost is one byte per element.
+type QSGD struct {
+	Levels int
+	rng    *tensor.RNG
+}
+
+// NewQSGD returns a QSGD compressor.
+func NewQSGD(levels int, seed uint64) *QSGD {
+	if levels < 2 {
+		panic(fmt.Sprintf("compress: QSGD needs ≥2 levels, got %d", levels))
+	}
+	return &QSGD{Levels: levels, rng: tensor.NewRNG(seed)}
+}
+
+// Name implements Compressor.
+func (q *QSGD) Name() string { return fmt.Sprintf("qsgd-%d", q.Levels) }
+
+// Transport implements Compressor.
+func (*QSGD) Transport() Transport { return TransportAllReduce }
+
+// Wire implements Compressor.
+func (q *QSGD) Wire() collective.WireFormat {
+	bits := math.Ceil(math.Log2(float64(q.Levels))) + 1 // + sign bit
+	return collective.WireFormat{Name: q.Name(), BytesPerElement: bits / 8, HeaderBytes: 8}
+}
+
+// Lossless implements Compressor.
+func (*QSGD) Lossless() bool { return false }
+
+// Encode implements DenseCompressor.
+func (q *QSGD) Encode(grad []float32) []float32 {
+	out := make([]float32, len(grad))
+	var s float32
+	for _, v := range grad {
+		if a := abs32(v); a > s {
+			s = a
+		}
+	}
+	if s == 0 {
+		return out
+	}
+	L := float64(q.Levels)
+	for i, v := range grad {
+		x := float64(abs32(v)) / float64(s) * L
+		lo := math.Floor(x)
+		frac := x - lo
+		level := lo
+		if q.rng.Float64() < frac {
+			level++
+		}
+		val := float32(level / L * float64(s))
+		if v < 0 {
+			val = -val
+		}
+		out[i] = val
+	}
+	return out
+}
+
+// Decode implements DenseCompressor.
+func (*QSGD) Decode(payload []float32, out []float32) { copy(out, payload) }
+
+// THC is a THC-style homomorphic lattice quantizer [Li et al. 2024]: all
+// workers quantize onto a shared uniform lattice so the aggregator can sum
+// quantized values without decompressing. The published system performs the
+// aggregation on a parameter server / programmable switch, which is why
+// Table 1 marks it incompatible with all-reduce; its transport here is PS.
+type THC struct {
+	Levels int
+}
+
+// NewTHC returns a THC-style compressor.
+func NewTHC(levels int) *THC {
+	if levels < 2 {
+		panic(fmt.Sprintf("compress: THC needs ≥2 levels, got %d", levels))
+	}
+	return &THC{Levels: levels}
+}
+
+// Name implements Compressor.
+func (*THC) Name() string { return "thc" }
+
+// Transport implements Compressor.
+func (*THC) Transport() Transport { return TransportPS }
+
+// Wire implements Compressor.
+func (t *THC) Wire() collective.WireFormat {
+	bits := math.Ceil(math.Log2(float64(t.Levels)))
+	return collective.WireFormat{Name: "thc", BytesPerElement: bits / 8, HeaderBytes: 16}
+}
+
+// Lossless implements Compressor.
+func (*THC) Lossless() bool { return false }
+
+// Encode implements DenseCompressor: deterministic rounding onto the shared
+// lattice spanning [−s, s].
+func (t *THC) Encode(grad []float32) []float32 {
+	out := make([]float32, len(grad))
+	var s float32
+	for _, v := range grad {
+		if a := abs32(v); a > s {
+			s = a
+		}
+	}
+	if s == 0 {
+		return out
+	}
+	L := float64(t.Levels - 1)
+	step := 2 * float64(s) / L
+	for i, v := range grad {
+		q := math.Round((float64(v) + float64(s)) / step)
+		out[i] = float32(q*step - float64(s))
+	}
+	return out
+}
+
+// Decode implements DenseCompressor.
+func (*THC) Decode(payload []float32, out []float32) { copy(out, payload) }

@@ -1,0 +1,158 @@
+// Package core implements PacTrain, the paper's contribution: Algorithm 1's
+// worker loop combining unstructured pruning, Gradient Sparsity Enforcement
+// (Eq. 2), the Mask Tracker, adaptive mask-compact compression over
+// all-reduce, and optional ternary quantization (§III-D) — plus the
+// baseline communication hooks the paper evaluates against (fp32 all-reduce,
+// FP16, TopK, DGC, TernGrad, QSGD, THC, parameter server, OmniReduce-style
+// block-sparse and Zen-style sparse all-gather).
+package core
+
+import (
+	"fmt"
+
+	"pactrain/internal/data"
+	"pactrain/internal/ddp"
+	"pactrain/internal/netsim"
+	"pactrain/internal/nn"
+	"pactrain/internal/prune"
+)
+
+// Config fully describes one distributed training run.
+type Config struct {
+	// ModelName selects both the lite twin (trained for real) and the
+	// communication profile (used for simulated time): "VGG19", "ResNet18",
+	// "ResNet152", "ViT-Base-16", or "MLP" (tests).
+	ModelName string
+	// Lite geometry for the trainable twin.
+	Lite nn.LiteConfig
+	// Data configures the synthetic dataset. TestSamples are generated
+	// separately for evaluation.
+	Data        data.Config
+	TestSamples int
+
+	// World is the number of distributed workers.
+	World int
+	// Topology hosts the workers; defaults to the paper's Fig. 4 at
+	// BottleneckBps if nil.
+	Topology      *netsim.Topology
+	BottleneckBps float64
+	// Traces optionally scale link bandwidths over simulated time,
+	// modelling the paper's variable-constrained WAN scenario.
+	Traces []*netsim.BandwidthTrace
+
+	// Scheme names the aggregation scheme: "all-reduce", "fp16",
+	// "topk-0.1", "topk-0.01", "dgc-0.01", "terngrad", "qsgd", "thc", "ps",
+	// "omnireduce", "zen", "pactrain", "pactrain-ternary".
+	Scheme string
+
+	// PacTrain parameters (§III).
+	PruneRatio     float64
+	PruneMethod    prune.Method
+	PretrainEpochs int // dense epochs before pruning (the "pre-trained model")
+	StableWindow   int // Mask Tracker consecutive-iteration window
+
+	// Optimization.
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	// TargetAcc defines TTA; EvalEvery is the evaluation cadence in
+	// iterations (0 = once per epoch).
+	TargetAcc float64
+	EvalEvery int
+
+	// BucketBytes caps DDP gradient buckets (0 = 25 MiB default).
+	BucketBytes int
+	// Profile and Compute drive the simulated clock.
+	Profile nn.CommProfile
+	Compute ddp.ComputeModel
+	Overlap ddp.Overlap
+
+	// Seed determines everything: weights, data, shuffles, quantization.
+	Seed uint64
+
+	// RecordComm enables per-iteration communication logging on rank 0 for
+	// bandwidth re-costing.
+	RecordComm bool
+}
+
+// DefaultConfig returns a small-but-realistic configuration for the given
+// paper workload and scheme, used by the experiment harness and examples.
+func DefaultConfig(modelName, scheme string) Config {
+	profile, err := nn.ProfileByName(modelName)
+	if err != nil {
+		// MLP and custom models fall back to a small synthetic profile.
+		profile = nn.CommProfile{Name: modelName, Params: 1_000_000, FLOPsPerSample: 100_000_000}
+	}
+	return Config{
+		ModelName:      modelName,
+		Lite:           nn.DefaultLiteConfig(10, 1),
+		Data:           data.CIFAR10Like(512, 11),
+		TestSamples:    256,
+		World:          8,
+		BottleneckBps:  1 * netsim.Gbps,
+		Scheme:         scheme,
+		PruneRatio:     0.5,
+		PruneMethod:    prune.GlobalMagnitude,
+		PretrainEpochs: 1,
+		StableWindow:   2,
+		Epochs:         10,
+		BatchSize:      16,
+		LR:             0.05,
+		Momentum:       0.9,
+		WeightDecay:    5e-4,
+		TargetAcc:      0.80,
+		BucketBytes:    1 << 16,
+		Profile:        profile,
+		Compute:        ddp.A40ComputeModel(profile.FLOPsPerSample),
+		Overlap:        ddp.OverlapNone,
+		Seed:           1,
+		RecordComm:     true,
+	}
+}
+
+// validate normalizes and sanity-checks the configuration.
+func (c *Config) validate() error {
+	if c.World < 1 {
+		return fmt.Errorf("core: world size %d < 1", c.World)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("core: epochs %d < 1", c.Epochs)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("core: batch size %d < 1", c.BatchSize)
+	}
+	if c.PruneRatio < 0 || c.PruneRatio >= 1 {
+		return fmt.Errorf("core: prune ratio %v outside [0,1)", c.PruneRatio)
+	}
+	if c.Scheme == "" {
+		return fmt.Errorf("core: scheme must be set")
+	}
+	if c.Topology == nil {
+		bw := c.BottleneckBps
+		if bw <= 0 {
+			bw = 1 * netsim.Gbps
+		}
+		c.Topology = netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: bw})
+	}
+	if len(c.Topology.Hosts()) < c.World {
+		return fmt.Errorf("core: topology has %d hosts for %d workers", len(c.Topology.Hosts()), c.World)
+	}
+	if c.StableWindow < 1 {
+		c.StableWindow = 2
+	}
+	if c.TestSamples <= 0 {
+		c.TestSamples = 256
+	}
+	if c.Compute.DeviceFLOPS == 0 {
+		c.Compute = ddp.A40ComputeModel(c.Profile.FLOPsPerSample)
+	}
+	return nil
+}
+
+// IsPacTrain reports whether the scheme is one of PacTrain's own modes.
+func (c *Config) IsPacTrain() bool {
+	return c.Scheme == "pactrain" || c.Scheme == "pactrain-ternary"
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pactrain/internal/data"
+	"pactrain/internal/ddp"
+	"pactrain/internal/netsim"
+)
+
+func TestOverlapBackwardNoSlowerThanSerial(t *testing.T) {
+	mk := func(overlap ddp.Overlap) *Result {
+		cfg := tinyConfig("all-reduce")
+		cfg.Overlap = overlap
+		cfg.Epochs = 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := mk(ddp.OverlapNone)
+	overlapped := mk(ddp.OverlapBackward)
+	if overlapped.SimSeconds > serial.SimSeconds {
+		t.Fatalf("overlap (%v) must not be slower than serial (%v)",
+			overlapped.SimSeconds, serial.SimSeconds)
+	}
+	// Convergence must be identical — overlap only changes the clock.
+	if overlapped.FinalAcc != serial.FinalAcc {
+		t.Fatalf("overlap changed convergence: %v vs %v",
+			overlapped.FinalAcc, serial.FinalAcc)
+	}
+}
+
+func TestBandwidthTraceSlowsRun(t *testing.T) {
+	base := tinyConfig("all-reduce")
+	base.Epochs = 2
+	topoA := netsim.FlatTopology(4, netsim.Gbps, 1e-5)
+	base.Topology = topoA
+	resA, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := tinyConfig("all-reduce")
+	cfg.Epochs = 2
+	topoB := netsim.FlatTopology(4, netsim.Gbps, 1e-5)
+	cfg.Topology = topoB
+	// Throttle every link to 10% for the whole run.
+	for li := range topoB.Links {
+		cfg.Traces = append(cfg.Traces, &netsim.BandwidthTrace{
+			LinkIndex: li,
+			Segments:  []netsim.TraceSegment{{UntilSec: math.Inf(1), Scale: 0.1}},
+		})
+	}
+	resB, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Stats.SimSeconds <= resA.Stats.SimSeconds*5 {
+		t.Fatalf("10%% bandwidth should ≈10× comm time: traced %v vs base %v",
+			resB.Stats.SimSeconds, resA.Stats.SimSeconds)
+	}
+	// Convergence unchanged — traces affect the clock only.
+	if resB.FinalAcc != resA.FinalAcc {
+		t.Fatal("bandwidth trace must not change convergence")
+	}
+}
+
+func TestPSSchemeSlowerThanAllReduce(t *testing.T) {
+	mk := func(scheme string) *Result {
+		cfg := tinyConfig(scheme)
+		cfg.World = 8
+		cfg.Topology = netsim.FlatTopology(8, netsim.Gbps, 1e-5)
+		cfg.Epochs = 1
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ar := mk("all-reduce")
+	ps := mk("ps")
+	if ps.Stats.SimSeconds <= ar.Stats.SimSeconds {
+		t.Fatalf("PS comm (%v) should exceed ring all-reduce (%v): incast",
+			ps.Stats.SimSeconds, ar.Stats.SimSeconds)
+	}
+}
+
+func TestCIFAR100LikeWorkload(t *testing.T) {
+	cfg := tinyConfig("pactrain")
+	cfg.Data = data.CIFAR100Like(320, 5)
+	cfg.Lite.Classes = 20
+	cfg.Epochs = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc <= 1.0/20 {
+		t.Fatalf("20-class task: accuracy %v at chance level", res.FinalAcc)
+	}
+	for rank, cs := range res.WeightChecksums {
+		if math.Abs(cs-res.WeightChecksums[0]) > 1e-6 {
+			t.Fatalf("replica %d diverged on CIFAR-100-like task", rank)
+		}
+	}
+}
+
+func TestBitmapBroadcastRecordedAtMaskChange(t *testing.T) {
+	cfg := tinyConfig("pactrain")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitmaps := 0
+	for _, ops := range res.CommLog.Iters {
+		for _, op := range ops {
+			if op.Kind == OpBitmapBroadcast {
+				bitmaps++
+			}
+		}
+	}
+	if bitmaps == 0 {
+		t.Fatal("pruning must trigger at least one bitmap re-share")
+	}
+	// At most a handful: one per bucket per mask change, not per iteration.
+	if bitmaps > res.Iterations {
+		t.Fatalf("bitmap storms: %d broadcasts over %d iterations", bitmaps, res.Iterations)
+	}
+}
+
+func TestPruneRatioZeroKeepsDenseBehaviour(t *testing.T) {
+	cfg := tinyConfig("pactrain")
+	cfg.PruneRatio = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An all-keep mask still stabilizes and compacts (compaction is then
+	// the identity, costing full fp32) — accuracy must match plain
+	// training closely.
+	if res.MaskSparsity != 0 {
+		t.Fatalf("ratio 0 produced sparsity %v", res.MaskSparsity)
+	}
+	if res.FinalAcc < 0.3 {
+		t.Fatalf("ratio-0 PacTrain failed to learn: %v", res.FinalAcc)
+	}
+}
+
+func TestHighPruneRatioHurtsAccuracy(t *testing.T) {
+	run := func(ratio float64) float64 {
+		cfg := tinyConfig("pactrain")
+		cfg.PruneRatio = ratio
+		cfg.Epochs = 4
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalAcc
+	}
+	moderate := run(0.5)
+	extreme := run(0.99)
+	if extreme >= moderate {
+		t.Fatalf("99%% pruning (acc %v) should underperform 50%% (acc %v) — the Fig. 6 cliff",
+			extreme, moderate)
+	}
+}

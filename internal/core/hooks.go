@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+
+	"pactrain/internal/collective"
+	"pactrain/internal/compress"
+	"pactrain/internal/ddp"
+	"pactrain/internal/masktracker"
+)
+
+// hookEnv is the per-worker context hooks operate in.
+type hookEnv struct {
+	cluster *collective.Cluster
+	rank    int
+	world   int
+	log     *CommLog // non-nil only on rank 0 when recording
+
+	// wireScale prices each logical bucket element as wireScale wire
+	// elements, so a lite-twin bucket costs what the corresponding slice of
+	// the full-size model's gradient would cost (DESIGN.md §1: convergence
+	// comes from the lite twin, bytes-on-wire from the paper's model).
+	wireScale float64
+}
+
+func (e *hookEnv) record(op CommOp) {
+	if e.log != nil {
+		e.log.Record(op)
+	}
+}
+
+// scaleWire applies the profile scale to a wire format's per-element cost;
+// fixed per-message headers are left untouched.
+func (e *hookEnv) scaleWire(w collective.WireFormat) collective.WireFormat {
+	if e.wireScale > 0 && e.wireScale != 1 {
+		w.BytesPerElement *= e.wireScale
+	}
+	return w
+}
+
+// buildHook constructs the per-worker communication hook for a scheme.
+func buildHook(cfg *Config, env *hookEnv) (ddp.Hook, error) {
+	seed := cfg.Seed*1009 + uint64(env.rank)*31 + 7
+	switch cfg.Scheme {
+	case "all-reduce", "fp32", "none":
+		return &denseHook{env: env, comp: compress.NewFP32()}, nil
+	case "fp16":
+		return &denseHook{env: env, comp: compress.NewFP16()}, nil
+	case "terngrad":
+		return &denseHook{env: env, comp: compress.NewTernGrad(seed)}, nil
+	case "qsgd":
+		return &denseHook{env: env, comp: compress.NewQSGD(256, seed)}, nil
+	case "thc":
+		return &denseHook{env: env, comp: compress.NewTHC(256)}, nil
+	case "ps":
+		return &denseHook{env: env, comp: compress.NewFP32(), forcePS: true}, nil
+	case "topk-0.1":
+		return newSparseHook(env, func() compress.SparseCompressor {
+			return compress.WrapErrorFeedback(compress.NewTopK(0.1))
+		}), nil
+	case "topk-0.01":
+		return newSparseHook(env, func() compress.SparseCompressor {
+			return compress.WrapErrorFeedback(compress.NewTopK(0.01))
+		}), nil
+	case "randomk-0.1":
+		return newSparseHook(env, func() compress.SparseCompressor {
+			return compress.WrapErrorFeedback(compress.NewRandomK(0.1, seed))
+		}), nil
+	case "dgc-0.1":
+		return newSparseHook(env, func() compress.SparseCompressor {
+			return compress.NewDGC(0.1, 0.9)
+		}), nil
+	case "dgc-0.01":
+		return newSparseHook(env, func() compress.SparseCompressor {
+			return compress.NewDGC(0.01, 0.9)
+		}), nil
+	case "omnireduce":
+		return &omniReduceHook{env: env, blockSize: 256}, nil
+	case "zen":
+		return &zenHook{env: env}, nil
+	case "pactrain":
+		return newPacTrainHook(env, cfg, false, seed), nil
+	case "pactrain-ternary":
+		return newPacTrainHook(env, cfg, true, seed), nil
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)
+}
+
+// --- Dense hooks (all-reduce / PS transports) --------------------------------
+
+// denseHook aggregates via a DenseCompressor: encode, sum payloads through
+// the compressor's transport, decode.
+type denseHook struct {
+	env     *hookEnv
+	comp    compress.DenseCompressor
+	forcePS bool
+}
+
+// Name implements ddp.Hook.
+func (h *denseHook) Name() string {
+	if h.forcePS {
+		return "ps"
+	}
+	return h.comp.Name()
+}
+
+// Sync implements ddp.Hook.
+func (h *denseHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
+	payload := h.comp.Encode(b.Flat)
+	wire := h.env.scaleWire(h.comp.Wire())
+	var end float64
+	if h.forcePS || h.comp.Transport() == compress.TransportPS {
+		end = h.env.cluster.PSAggregateSum(rank, payload, wire, localTime)
+		h.env.record(CommOp{Kind: OpPS, Elements: len(payload), Wire: wire})
+	} else {
+		end = h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
+		h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire})
+	}
+	h.comp.Decode(payload, b.Flat)
+	return end
+}
+
+// --- Sparse hooks (all-gather transport) -------------------------------------
+
+// sparseHook aggregates via a SparseCompressor: each worker's selection is
+// exchanged wholesale with all-gather and summed locally — the transport
+// TopK and DGC require (Table 1).
+type sparseHook struct {
+	env     *hookEnv
+	mk      func() compress.SparseCompressor
+	perBkt  map[int]compress.SparseCompressor
+	nameStr string
+}
+
+func newSparseHook(env *hookEnv, mk func() compress.SparseCompressor) *sparseHook {
+	h := &sparseHook{env: env, mk: mk, perBkt: make(map[int]compress.SparseCompressor)}
+	h.nameStr = mk().Name()
+	return h
+}
+
+// Name implements ddp.Hook.
+func (h *sparseHook) Name() string { return h.nameStr }
+
+// Sync implements ddp.Hook.
+func (h *sparseHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
+	comp := h.perBkt[b.Index]
+	if comp == nil {
+		comp = h.mk()
+		h.perBkt[b.Index] = comp
+	}
+	payload := comp.Encode(b.Flat)
+	wire := h.env.scaleWire(comp.Wire())
+	all, end := h.env.cluster.AllGatherSparse(rank, payload, wire, localTime)
+	for i := range b.Flat {
+		b.Flat[i] = 0
+	}
+	sizes := make([]int, len(all))
+	for i, p := range all {
+		sizes[i] = len(p.Values)
+		comp.DecodeSum(p, b.Flat)
+	}
+	h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire})
+	return end
+}
+
+// --- SCC baseline hooks -------------------------------------------------------
+
+// omniReduceHook streams non-zero gradient blocks through an aggregator
+// (OmniReduce-style, §II). Effective only when blocks are actually zero —
+// i.e. under pruning+GSE — and still pays per-block headers and the union
+// fan-out.
+type omniReduceHook struct {
+	env       *hookEnv
+	blockSize int
+}
+
+// Name implements ddp.Hook.
+func (*omniReduceHook) Name() string { return "omnireduce" }
+
+// Sync implements ddp.Hook.
+func (h *omniReduceHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
+	scale := h.env.wireScale
+	if scale <= 0 {
+		scale = 1
+	}
+	own, union, end := h.env.cluster.AllReduceBlockSparse(rank, b.Flat, h.blockSize, scale, localTime)
+	_ = own
+	blocks := make([]int, h.env.world)
+	for i := range blocks {
+		blocks[i] = union // conservative per-worker record; exact counts live in cluster stats
+	}
+	h.env.record(CommOp{Kind: OpBlockSparse, Blocks: blocks, Union: union, BlockSz: h.blockSize, Scale: scale})
+	return end
+}
+
+// zenHook exchanges each worker's exact non-zero coordinates via a balanced
+// sparse all-gather (Zen-style, §II). Wire cost is COO (8 B/non-zero), so
+// it beats dense only below 50% density.
+type zenHook struct {
+	env *hookEnv
+}
+
+// Name implements ddp.Hook.
+func (*zenHook) Name() string { return "zen" }
+
+// Sync implements ddp.Hook.
+func (h *zenHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
+	var vals []float32
+	var idx []int32
+	for i, v := range b.Flat {
+		if v != 0 {
+			vals = append(vals, v)
+			idx = append(idx, int32(i))
+		}
+	}
+	payload := collective.SparsePayload{Values: vals, Indices: idx}
+	wire := h.env.scaleWire(collective.WireSparse)
+	all, end := h.env.cluster.AllGatherSparse(rank, payload, wire, localTime)
+	for i := range b.Flat {
+		b.Flat[i] = 0
+	}
+	sizes := make([]int, len(all))
+	for i, p := range all {
+		sizes[i] = len(p.Values)
+		for j, id := range p.Indices {
+			b.Flat[id] += p.Values[j]
+		}
+	}
+	h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire})
+	return end
+}
+
+// --- The PacTrain hook --------------------------------------------------------
+
+// pacTrainHook implements Algorithm 1's synchronization step. Per bucket it
+// maintains a Mask Tracker fed with the *aggregated* gradient (identical on
+// every worker, so all workers take the same branch without extra
+// consensus traffic):
+//
+//   - while the sparsity pattern is unstable → full fp32 all-reduce, plus a
+//     one-off bitmap broadcast whenever the pattern changed (re-sharing the
+//     global mask knowledge);
+//   - once stable → reformat the sparse gradient into a compact dense
+//     tensor via the shared mask and all-reduce only the NNZ coordinates
+//     (optionally ternarized, §III-D).
+type pacTrainHook struct {
+	env     *hookEnv
+	ternary bool
+	seed    uint64
+	window  int
+
+	trackers map[int]*masktracker.Tracker
+	compacts map[int]*compress.MaskCompact
+	// pendingBitmap marks buckets whose mask changed last iteration and owe
+	// a bitmap broadcast with the next full sync.
+	pendingBitmap map[int]bool
+	observed      map[int]bool
+
+	// Telemetry.
+	CompactSyncs int
+	FullSyncs    int
+}
+
+func newPacTrainHook(env *hookEnv, cfg *Config, ternary bool, seed uint64) *pacTrainHook {
+	return &pacTrainHook{
+		env: env, ternary: ternary, seed: seed, window: cfg.StableWindow,
+		trackers:      make(map[int]*masktracker.Tracker),
+		compacts:      make(map[int]*compress.MaskCompact),
+		pendingBitmap: make(map[int]bool),
+		observed:      make(map[int]bool),
+	}
+}
+
+// Name implements ddp.Hook.
+func (h *pacTrainHook) Name() string {
+	if h.ternary {
+		return "pactrain-ternary"
+	}
+	return "pactrain"
+}
+
+// Sync implements ddp.Hook.
+func (h *pacTrainHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
+	tr := h.trackers[b.Index]
+	if tr == nil {
+		tr = masktracker.New(h.window)
+		h.trackers[b.Index] = tr
+	}
+
+	if tr.Stable() {
+		mc := h.compacts[b.Index]
+		if mc == nil || !mc.HasMask() {
+			mc = compress.NewMaskCompact(h.ternary, h.seed*131+uint64(b.Index))
+			mc.SetMask(tr.Indices(), b.Elements())
+			h.compacts[b.Index] = mc
+		}
+		payload := mc.Encode(b.Flat)
+		wire := h.env.scaleWire(mc.Wire())
+		end := h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
+		mc.Decode(payload, b.Flat)
+		h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire})
+		h.CompactSyncs++
+		// On the compact path the support is the mask by construction —
+		// GSE pins local supports inside it and Decode reproduces exactly
+		// it — so there is nothing new to observe. (Observing the decoded
+		// values would be wrong under ternary quantization, which zeroes
+		// in-mask coordinates at random.)
+		return end
+	}
+
+	// Unstable: full synchronization (Algorithm 1 lines 11–12), and pay
+	// the mask re-share if the pattern moved last iteration.
+	var end float64
+	if h.pendingBitmap[b.Index] {
+		bitWire := h.env.scaleWire(collective.BitmapWire)
+		end = h.env.cluster.BroadcastScaledBitmap(rank, 0, b.Elements(), bitWire, localTime)
+		h.env.record(CommOp{Kind: OpBitmapBroadcast, Elements: b.Elements(), Wire: bitWire})
+		localTime = end
+		h.pendingBitmap[b.Index] = false
+	}
+	fullWire := h.env.scaleWire(collective.WireFP32)
+	end = h.env.cluster.AllReduceSum(rank, b.Flat, fullWire, localTime)
+	h.env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: fullWire})
+	h.compacts[b.Index] = nil // any cached mask is now suspect
+	h.FullSyncs++
+
+	// Feed the tracker with the aggregated gradient: identical bytes on all
+	// workers keep the trackers, and therefore the branch above, in
+	// lockstep across ranks.
+	obs := tr.Observe(b.Flat)
+	if obs.Changed && h.observed[b.Index] {
+		h.pendingBitmap[b.Index] = true
+	}
+	h.observed[b.Index] = true
+	return end
+}
+
+// NotifyMaskInvalidated discards all tracker and compaction state. The
+// trainer calls it at the pruning step (Algorithm 1 line 2): the gradient
+// support is about to shrink, so unions learned from dense warm-up
+// gradients no longer describe the sparsity pattern. Every worker calls it
+// at the same iteration, so the branch lockstep is preserved, and the next
+// stabilization pays the bitmap re-share as usual.
+func (h *pacTrainHook) NotifyMaskInvalidated() {
+	for _, tr := range h.trackers {
+		tr.Reset()
+	}
+	h.compacts = make(map[int]*compress.MaskCompact)
+	h.pendingBitmap = make(map[int]bool)
+	h.observed = make(map[int]bool)
+}
+
+// StableFraction reports the fraction of bucket syncs that used the compact
+// path.
+func (h *pacTrainHook) StableFraction() float64 {
+	total := h.CompactSyncs + h.FullSyncs
+	if total == 0 {
+		return 0
+	}
+	return float64(h.CompactSyncs) / float64(total)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"pactrain/internal/collective"
+	"pactrain/internal/netsim"
+)
+
+// OpKind identifies a recorded communication operation.
+type OpKind int
+
+// Recorded operation kinds.
+const (
+	OpAllReduce OpKind = iota
+	OpAllGather
+	OpPS
+	OpBlockSparse
+	OpBitmapBroadcast
+)
+
+// CommOp describes one collective invocation precisely enough to re-cost it
+// under a different network without re-running training.
+type CommOp struct {
+	Kind     OpKind
+	Elements int                   // all-reduce / PS / bitmap element count
+	Sizes    []int                 // all-gather per-origin element counts
+	Blocks   []int                 // block-sparse per-worker block counts
+	Union    int                   // block-sparse union block count
+	BlockSz  int                   // block-sparse block size
+	Scale    float64               // block-sparse wire scale (1 if unset)
+	Wire     collective.WireFormat // wire format of the payload (pre-scaled)
+}
+
+// CommLog records the operations of every iteration on rank 0.
+type CommLog struct {
+	Iters [][]CommOp
+}
+
+// StartIter opens a new iteration record.
+func (l *CommLog) StartIter() {
+	l.Iters = append(l.Iters, nil)
+}
+
+// Record appends an operation to the current iteration.
+func (l *CommLog) Record(op CommOp) {
+	if len(l.Iters) == 0 {
+		l.StartIter()
+	}
+	l.Iters[len(l.Iters)-1] = append(l.Iters[len(l.Iters)-1], op)
+}
+
+// CostIter prices one recorded iteration's communication on the given
+// fabric, starting at time t (bandwidth traces see absolute time).
+func CostIter(ops []CommOp, f *netsim.Fabric, hosts []netsim.NodeID, t float64) float64 {
+	start := t
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAllReduce:
+			t += collective.CostRingAllReduce(f, hosts, op.Elements, op.Wire, t)
+		case OpAllGather:
+			t += collective.CostRingAllGather(f, hosts, op.Sizes, op.Wire, t)
+		case OpPS:
+			t += collective.CostPSAggregate(f, hosts, op.Elements, op.Wire, t)
+		case OpBlockSparse:
+			t += collective.CostBlockSparseAggregate(f, hosts, op.Blocks, op.Union, op.BlockSz, op.Scale, t)
+		case OpBitmapBroadcast:
+			wire := op.Wire
+			if wire.BytesPerElement == 0 {
+				wire = collective.BitmapWire
+			}
+			t += collective.CostBinomialBroadcast(f, hosts, 0, wire.MessageBytes(op.Elements), t)
+		}
+	}
+	return t - start
+}
+
+// WireBytesPerWorker returns the payload bytes one worker puts on the wire
+// for the recorded iteration (the per-iteration communication volume the
+// paper's compression ratios describe).
+func WireBytesPerWorker(ops []CommOp, world int) float64 {
+	var total float64
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAllReduce:
+			total += op.Wire.MessageBytes(op.Elements) * 2 * float64(world-1) / float64(world)
+		case OpAllGather:
+			for _, s := range op.Sizes {
+				total += op.Wire.MessageBytes(s) * float64(world-1) / float64(world)
+			}
+		case OpPS:
+			total += op.Wire.MessageBytes(op.Elements)
+		case OpBlockSparse:
+			scale := op.Scale
+			if scale <= 0 {
+				scale = 1
+			}
+			for _, b := range op.Blocks {
+				total += (float64(b*op.BlockSz)*4*scale + float64(b)*collective.BlockSparseHeaderBytes) / float64(world)
+			}
+		case OpBitmapBroadcast:
+			wire := op.Wire
+			if wire.BytesPerElement == 0 {
+				wire = collective.BitmapWire
+			}
+			total += wire.MessageBytes(op.Elements) / float64(world)
+		}
+	}
+	return total
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pactrain/internal/collective"
+	"pactrain/internal/data"
+	"pactrain/internal/ddp"
+	"pactrain/internal/gse"
+	"pactrain/internal/metrics"
+	"pactrain/internal/netsim"
+	"pactrain/internal/nn"
+	"pactrain/internal/prune"
+	"pactrain/internal/tensor"
+)
+
+// Result summarizes one distributed training run.
+type Result struct {
+	Scheme string
+	Model  string
+
+	// Curve holds rank 0's evaluation trajectory against simulated time.
+	Curve metrics.Curve
+	// FinalAcc and BestAcc summarize the trajectory.
+	FinalAcc float64
+	BestAcc  float64
+	// TTASeconds is the simulated time to reach Config.TargetAcc; if
+	// ReachedTarget is false it is the end-of-run time (a lower bound).
+	TTASeconds    float64
+	ReachedTarget bool
+
+	Iterations int
+	EpochsRun  int
+	// SimSeconds is the total simulated training time.
+	SimSeconds float64
+	// WallSeconds is the host wall-clock cost of the run.
+	WallSeconds float64
+
+	// Stats aggregates the cluster's communication accounting.
+	Stats collective.Stats
+	// CommLog holds rank 0's per-iteration operation log when
+	// Config.RecordComm is set, enabling bandwidth re-costing.
+	CommLog *CommLog
+
+	// StableFraction is the fraction of PacTrain bucket syncs that used the
+	// compact path (0 for other schemes).
+	StableFraction float64
+	// MaskSparsity is the fraction of pruned weights (0 when not pruning).
+	MaskSparsity float64
+
+	// WeightChecksums holds one end-of-training weight checksum per rank;
+	// equal values certify that the replicas never diverged.
+	WeightChecksums []float64
+}
+
+// Run executes one distributed training run: cfg.World worker goroutines
+// train identical model replicas on disjoint shards, synchronizing through
+// the configured scheme over the simulated fabric, while rank 0 evaluates
+// against simulated time.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Equal shard sizes keep every worker's collective sequence in
+	// lockstep, as DistributedSampler's padding does.
+	cfg.Data.Samples = ((cfg.Data.Samples + cfg.World - 1) / cfg.World) * cfg.World
+
+	start := time.Now()
+	fabric := netsim.NewFabric(cfg.Topology)
+	for _, tr := range cfg.Traces {
+		fabric.SetTrace(tr)
+	}
+	cluster := collective.NewCluster(cfg.World, fabric)
+
+	// Train and test splits must share class prototypes, so generate one
+	// dataset and split off the tail for evaluation.
+	fullCfg := cfg.Data
+	fullCfg.Samples = cfg.Data.Samples + cfg.TestSamples
+	full := data.Generate(fullCfg)
+	trainSet, testSet := data.Split(full, cfg.TestSamples)
+
+	res := &Result{Scheme: cfg.Scheme, Model: cfg.ModelName,
+		WeightChecksums: make([]float64, cfg.World)}
+	var log *CommLog
+	if cfg.RecordComm {
+		log = &CommLog{}
+		res.CommLog = log
+	}
+
+	errs := make([]error, cfg.World)
+	var wg sync.WaitGroup
+	for rank := 0; rank < cfg.World; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = runWorker(&cfg, rank, cluster, trainSet, testSet, log, res)
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Stats = cluster.Stats()
+	res.FinalAcc = res.Curve.FinalAcc()
+	res.BestAcc = res.Curve.BestAcc()
+	res.TTASeconds, res.ReachedTarget = res.Curve.TTA(cfg.TargetAcc)
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// runWorker is the per-rank training loop (Algorithm 1).
+func runWorker(cfg *Config, rank int, cluster *collective.Cluster,
+	trainSet, testSet *data.Dataset, log *CommLog, res *Result) error {
+
+	model, err := nn.NewLiteByName(cfg.ModelName, cfg.Lite)
+	if err != nil {
+		return err
+	}
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	shard := data.ShardDataset(trainSet, rank, cfg.World)
+	buckets := ddp.BuildBuckets(model, cfg.BucketBytes)
+
+	// Price the lite twin's buckets as slices of the full-size model's
+	// gradient: each logical element carries Profile.Params/liteParams
+	// wire elements (DESIGN.md §1).
+	wireScale := 1.0
+	if cfg.Profile.Params > 0 && model.NumParameters() > 0 {
+		wireScale = float64(cfg.Profile.Params) / float64(model.NumParameters())
+	}
+	env := &hookEnv{cluster: cluster, rank: rank, world: cfg.World, wireScale: wireScale}
+	if rank == 0 {
+		env.log = log
+	}
+	hook, err := buildHook(cfg, env)
+	if err != nil {
+		return err
+	}
+
+	var mask *prune.Mask
+	simTime := 0.0
+	iter := 0
+	lastLoss := 0.0
+	invWorld := 1 / float32(cfg.World)
+
+	evalNow := func(endOfEpoch bool) bool {
+		if rank != 0 {
+			return false
+		}
+		if cfg.EvalEvery > 0 {
+			return iter%cfg.EvalEvery == 0
+		}
+		return endOfEpoch
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = nn.CosineLR(cfg.LR, cfg.LR*0.1, epoch, cfg.Epochs)
+
+		// Algorithm 1 line 2: prune once the warm-up ("pre-trained model")
+		// phase completes. The mask derives deterministically from state all
+		// replicas share, so it is identical everywhere without extra
+		// communication; the Mask Tracker still pays the bitmap re-share
+		// when it sees the pattern move.
+		if cfg.IsPacTrain() && mask == nil && epoch == cfg.PretrainEpochs {
+			mask, err = buildMask(cfg, model, trainSet)
+			if err != nil {
+				return err
+			}
+			mask.Apply(model)
+			gse.ZeroVelocity(opt, model, mask)
+			if pt, ok := hook.(*pacTrainHook); ok {
+				pt.NotifyMaskInvalidated()
+			}
+			if rank == 0 {
+				res.MaskSparsity = mask.Sparsity()
+			}
+		}
+
+		rng := tensor.NewRNG(cfg.Seed*7919 + uint64(rank)*101 + uint64(epoch))
+		next := shard.Batches(cfg.BatchSize, rng)
+		for {
+			x, labels, ok := next()
+			if !ok {
+				break
+			}
+			if env.log != nil {
+				env.log.StartIter()
+			}
+
+			out := model.Forward(x, true)
+			loss, grad := nn.SoftmaxCrossEntropy(out, labels)
+			lastLoss = loss
+			model.ZeroGrad()
+			model.Backward(grad)
+			if mask != nil {
+				gse.Enforce(model, mask) // Eq. 2, every iteration
+			}
+
+			// Simulated compute, then bucket-by-bucket synchronization.
+			fwd := cfg.Compute.ForwardSeconds(len(labels))
+			bwd := cfg.Compute.BackwardSeconds(len(labels))
+			var floor float64
+			if cfg.Overlap == ddp.OverlapBackward {
+				simTime += fwd
+				floor = simTime + bwd
+			} else {
+				simTime += fwd + bwd
+			}
+			for _, b := range buckets {
+				b.Gather()
+				simTime = hook.Sync(rank, b, simTime)
+			}
+			if floor > simTime {
+				simTime = floor
+			}
+			for _, b := range buckets {
+				b.Scale(invWorld)
+				b.Scatter()
+			}
+			if mask != nil {
+				gse.Enforce(model, mask)
+			}
+			opt.Step(model.Params())
+			iter++
+
+			if evalNow(false) {
+				acc := evaluate(model, testSet)
+				res.Curve.Add(metrics.Point{Iter: iter, Epoch: epoch, SimTime: simTime, Acc: acc, Loss: lastLoss})
+			}
+		}
+		if evalNow(true) && cfg.EvalEvery == 0 {
+			acc := evaluate(model, testSet)
+			res.Curve.Add(metrics.Point{Iter: iter, Epoch: epoch, SimTime: simTime, Acc: acc, Loss: lastLoss})
+		}
+	}
+
+	var checksum float64
+	for _, p := range model.Params() {
+		checksum += p.W.Sum()
+	}
+	res.WeightChecksums[rank] = checksum
+
+	if rank == 0 {
+		res.Iterations = iter
+		res.EpochsRun = cfg.Epochs
+		res.SimSeconds = simTime
+		if pt, ok := hook.(*pacTrainHook); ok {
+			res.StableFraction = pt.StableFraction()
+		}
+	}
+	return nil
+}
+
+// buildMask derives the pruning mask per the configured method. Magnitude
+// methods depend only on the (replica-identical) weights; GraSP uses a probe
+// batch drawn deterministically from the shared dataset so that every
+// worker computes the same mask.
+func buildMask(cfg *Config, model *nn.Model, trainSet *data.Dataset) (*prune.Mask, error) {
+	switch cfg.PruneMethod {
+	case prune.GlobalMagnitude, prune.LayerMagnitude:
+		return prune.MagnitudePrune(model, cfg.PruneRatio, cfg.PruneMethod)
+	case prune.GraSP:
+		probeN := 64
+		if probeN > trainSet.Len() {
+			probeN = trainSet.Len()
+		}
+		x, labels := trainSet.Batch(0, probeN)
+		computeGrads := func() {
+			model.ZeroGrad()
+			out := model.Forward(x, true)
+			_, g := nn.SoftmaxCrossEntropy(out, labels)
+			model.Backward(g)
+		}
+		mask, err := prune.GraSPPrune(model, cfg.PruneRatio, computeGrads)
+		model.ZeroGrad()
+		return mask, err
+	}
+	return nil, fmt.Errorf("core: unsupported prune method %v", cfg.PruneMethod)
+}
+
+// evaluate computes test accuracy in chunks (eval compute is excluded from
+// the simulated clock, matching how the paper reports training time).
+func evaluate(model *nn.Model, testSet *data.Dataset) float64 {
+	const chunk = 64
+	correct := 0.0
+	total := 0
+	for from := 0; from < testSet.Len(); from += chunk {
+		x, labels := testSet.Batch(from, chunk)
+		out := model.Forward(x, false)
+		correct += nn.Accuracy(out, labels) * float64(len(labels))
+		total += len(labels)
+	}
+	if total == 0 {
+		return 0
+	}
+	return correct / float64(total)
+}

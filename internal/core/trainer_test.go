@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pactrain/internal/data"
+	"pactrain/internal/netsim"
+	"pactrain/internal/nn"
+)
+
+// tinyConfig returns a fast configuration for integration tests: MLP twin,
+// small synthetic dataset, 4 workers on a flat gigabit switch.
+func tinyConfig(scheme string) Config {
+	cfg := DefaultConfig("MLP", scheme)
+	cfg.World = 4
+	cfg.Topology = netsim.FlatTopology(4, netsim.Gbps, 1e-5)
+	cfg.Data = data.CIFAR10Like(320, 5)
+	cfg.TestSamples = 100
+	cfg.Epochs = 3
+	cfg.BatchSize = 8
+	cfg.PretrainEpochs = 1
+	cfg.TargetAcc = 0.5
+	cfg.BucketBytes = 1 << 14
+	cfg.Profile = nn.CommProfile{Name: "MLP", Params: 1_000_000, FLOPsPerSample: 50_000_000}
+	return cfg
+}
+
+func TestRunAllReduceBaseline(t *testing.T) {
+	res, err := Run(tinyConfig("all-reduce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 || res.SimSeconds <= 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	if len(res.Curve.Points) != 3 {
+		t.Fatalf("expected 3 eval points (per epoch), got %d", len(res.Curve.Points))
+	}
+	if res.FinalAcc < 0.3 {
+		t.Fatalf("model failed to learn: acc %v", res.FinalAcc)
+	}
+	for rank, cs := range res.WeightChecksums {
+		if math.Abs(cs-res.WeightChecksums[0]) > 1e-6 {
+			t.Fatalf("replica %d diverged: %v vs %v", rank, cs, res.WeightChecksums[0])
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	a, err := Run(tinyConfig("all-reduce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyConfig("all-reduce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAcc != b.FinalAcc || a.SimSeconds != b.SimSeconds {
+		t.Fatalf("same config must reproduce: acc %v/%v time %v/%v",
+			a.FinalAcc, b.FinalAcc, a.SimSeconds, b.SimSeconds)
+	}
+}
+
+func TestRunAllSchemesTrainAndStayConsistent(t *testing.T) {
+	schemes := []string{"fp16", "terngrad", "qsgd", "thc", "ps",
+		"topk-0.1", "dgc-0.1", "omnireduce", "zen"}
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			cfg := tinyConfig(scheme)
+			cfg.Epochs = 2
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rank, cs := range res.WeightChecksums {
+				if math.Abs(cs-res.WeightChecksums[0]) > 1e-6 {
+					t.Fatalf("%s: replica %d diverged", scheme, rank)
+				}
+			}
+			if res.Stats.SimSeconds <= 0 {
+				t.Fatalf("%s: no communication time accrued", scheme)
+			}
+		})
+	}
+}
+
+func TestRunPacTrain(t *testing.T) {
+	cfg := tinyConfig("pactrain")
+	cfg.PruneRatio = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaskSparsity < 0.3 || res.MaskSparsity > 0.6 {
+		t.Fatalf("mask sparsity %v, want ≈0.5 over prunable weights", res.MaskSparsity)
+	}
+	if res.StableFraction <= 0 {
+		t.Fatal("PacTrain never reached the compact path")
+	}
+	if res.FinalAcc < 0.3 {
+		t.Fatalf("pruned model failed to learn: %v", res.FinalAcc)
+	}
+	for rank, cs := range res.WeightChecksums {
+		if math.Abs(cs-res.WeightChecksums[0]) > 1e-6 {
+			t.Fatalf("replica %d diverged", rank)
+		}
+	}
+}
+
+func TestRunPacTrainTernary(t *testing.T) {
+	cfg := tinyConfig("pactrain-ternary")
+	cfg.PruneRatio = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StableFraction <= 0 {
+		t.Fatal("ternary PacTrain never reached the compact path")
+	}
+	for rank, cs := range res.WeightChecksums {
+		if math.Abs(cs-res.WeightChecksums[0]) > 1e-6 {
+			t.Fatalf("replica %d diverged", rank)
+		}
+	}
+}
+
+// TestPacTrainCheaperThanAllReduceUnderBottleneck is the paper's core
+// claim in miniature: with a constrained link, PacTrain's per-iteration
+// communication is cheaper, so the same number of iterations finishes
+// sooner in simulated time.
+func TestPacTrainCheaperThanAllReduceUnderBottleneck(t *testing.T) {
+	mk := func(scheme string) Config {
+		cfg := tinyConfig(scheme)
+		cfg.World = 8
+		cfg.Topology = netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: 100 * netsim.Mbps})
+		cfg.Epochs = 3
+		cfg.PretrainEpochs = 1
+		return cfg
+	}
+	base, err := Run(mk("all-reduce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pac, err := Run(mk("pactrain-ternary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pac.SimSeconds >= base.SimSeconds {
+		t.Fatalf("PacTrain (%v s) should beat all-reduce (%v s) at 100 Mbps",
+			pac.SimSeconds, base.SimSeconds)
+	}
+}
+
+func TestCommLogRecostMatchesInSitu(t *testing.T) {
+	cfg := tinyConfig("pactrain")
+	cfg.Epochs = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommLog == nil || len(res.CommLog.Iters) != res.Iterations {
+		t.Fatalf("comm log has %d iterations, want %d", len(res.CommLog.Iters), res.Iterations)
+	}
+	// Re-cost the log on an identical fresh fabric: with constant
+	// bandwidths the total must equal the in-situ communication time.
+	topo := netsim.FlatTopology(4, netsim.Gbps, 1e-5)
+	fabric := netsim.NewFabric(topo)
+	hosts := topo.Hosts()
+	var total float64
+	for _, ops := range res.CommLog.Iters {
+		total += CostIter(ops, fabric, hosts, total)
+	}
+	if math.Abs(total-res.Stats.SimSeconds)/res.Stats.SimSeconds > 1e-6 {
+		t.Fatalf("recost %v vs in-situ %v", total, res.Stats.SimSeconds)
+	}
+}
+
+func TestWireBytesPerWorkerShrinkWithPacTrain(t *testing.T) {
+	base, err := Run(tinyConfig("all-reduce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig("pactrain-ternary")
+	cfg.Epochs = 3
+	pac, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare last-iteration wire volume (PacTrain is on the compact path
+	// by then).
+	lastBase := base.CommLog.Iters[len(base.CommLog.Iters)-1]
+	lastPac := pac.CommLog.Iters[len(pac.CommLog.Iters)-1]
+	bb := WireBytesPerWorker(lastBase, 4)
+	pb := WireBytesPerWorker(lastPac, 4)
+	if pb >= bb/4 {
+		t.Fatalf("pactrain-ternary last-iteration bytes %v, want < 1/4 of baseline %v", pb, bb)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := tinyConfig("all-reduce")
+	cfg.World = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("world 0 must fail")
+	}
+	cfg = tinyConfig("nope")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+	cfg = tinyConfig("all-reduce")
+	cfg.PruneRatio = 1.5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid prune ratio must fail")
+	}
+}
+
+func TestEvalEveryCadence(t *testing.T) {
+	cfg := tinyConfig("all-reduce")
+	cfg.EvalEvery = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Iterations / 2
+	if len(res.Curve.Points) != want {
+		t.Fatalf("eval points %d, want %d", len(res.Curve.Points), want)
+	}
+}
+
+func TestGraSPPruneMethodRuns(t *testing.T) {
+	cfg := tinyConfig("pactrain")
+	cfg.PruneMethod = 2 // prune.GraSP
+	cfg.Epochs = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaskSparsity <= 0 {
+		t.Fatal("GraSP produced an empty mask")
+	}
+	for rank, cs := range res.WeightChecksums {
+		if math.Abs(cs-res.WeightChecksums[0]) > 1e-6 {
+			t.Fatalf("replica %d diverged under GraSP pruning", rank)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package data
+
+import (
+	"testing"
+
+	"pactrain/internal/tensor"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	ds := Generate(CIFAR10Like(100, 1))
+	if ds.Len() != 100 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	sh := ds.Images.Shape()
+	if sh[0] != 100 || sh[1] != 3 || sh[2] != 16 || sh[3] != 16 {
+		t.Fatalf("image shape %v", sh)
+	}
+	for _, l := range ds.Labels {
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(CIFAR10Like(50, 7))
+	b := Generate(CIFAR10Like(50, 7))
+	for i := range a.Images.Data() {
+		if a.Images.Data()[i] != b.Images.Data()[i] {
+			t.Fatal("same seed must generate identical data")
+		}
+	}
+	c := Generate(CIFAR10Like(50, 8))
+	diff := false
+	for i := range a.Images.Data() {
+		if a.Images.Data()[i] != c.Images.Data()[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should generate different data")
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	ds := Generate(CIFAR10Like(1000, 3))
+	counts := make([]int, 10)
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d has %d samples, want 100", c, n)
+		}
+	}
+}
+
+func TestShardsDisjointAndComplete(t *testing.T) {
+	ds := Generate(CIFAR10Like(101, 2))
+	world := 4
+	seen := map[int]int{}
+	total := 0
+	for rank := 0; rank < world; rank++ {
+		s := ShardDataset(ds, rank, world)
+		total += s.Len()
+		for _, i := range s.indices {
+			seen[i]++
+		}
+	}
+	if total != 101 {
+		t.Fatalf("shards cover %d samples, want 101", total)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d appears %d times", i, n)
+		}
+	}
+}
+
+func TestShardRankValidation(t *testing.T) {
+	ds := Generate(CIFAR10Like(10, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid rank")
+		}
+	}()
+	ShardDataset(ds, 4, 4)
+}
+
+func TestBatchesCoverShard(t *testing.T) {
+	ds := Generate(CIFAR10Like(64, 5))
+	s := ShardDataset(ds, 1, 2) // 32 samples
+	next := s.Batches(10, nil)
+	total := 0
+	batches := 0
+	for {
+		x, labels, ok := next()
+		if !ok {
+			break
+		}
+		if x.Dim(0) != len(labels) {
+			t.Fatal("batch size mismatch with labels")
+		}
+		total += len(labels)
+		batches++
+	}
+	if total != 32 {
+		t.Fatalf("batches covered %d samples, want 32", total)
+	}
+	if batches != 4 { // 10+10+10+2
+		t.Fatalf("batches = %d, want 4", batches)
+	}
+}
+
+func TestBatchesShuffleDeterministic(t *testing.T) {
+	ds := Generate(CIFAR10Like(40, 5))
+	s := ShardDataset(ds, 0, 1)
+	collect := func(seed uint64) []int {
+		next := s.Batches(40, tensor.NewRNG(seed))
+		_, labels, _ := next()
+		return labels
+	}
+	a, b := collect(9), collect(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same shuffle seed must give same order")
+		}
+	}
+	c := collect(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different shuffle seeds should differ")
+	}
+}
+
+func TestDatasetBatchBounds(t *testing.T) {
+	ds := Generate(CIFAR10Like(10, 1))
+	x, labels := ds.Batch(8, 5)
+	if x.Dim(0) != 2 || len(labels) != 2 {
+		t.Fatalf("Batch clamping wrong: %v, %d labels", x.Shape(), len(labels))
+	}
+}
+
+// TestTaskIsLearnable verifies the synthetic data carries class signal: the
+// class-mean images must be better separated than the within-class noise
+// floor (otherwise no model could learn and every TTA experiment would be
+// vacuous).
+func TestTaskIsLearnable(t *testing.T) {
+	ds := Generate(CIFAR10Like(500, 11))
+	pix := ds.Channels * ds.Size * ds.Size
+	means := make([][]float64, ds.Classes)
+	counts := make([]int, ds.Classes)
+	for c := range means {
+		means[c] = make([]float64, pix)
+	}
+	id := ds.Images.Data()
+	for i, l := range ds.Labels {
+		counts[l]++
+		for j := 0; j < pix; j++ {
+			means[l][j] += float64(id[i*pix+j])
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	// Distance between class 0 and 1 means should clearly exceed zero.
+	var dist float64
+	for j := 0; j < pix; j++ {
+		d := means[0][j] - means[1][j]
+		dist += d * d
+	}
+	if dist < 1 {
+		t.Fatalf("class means nearly identical (dist²=%v); task unlearnable", dist)
+	}
+}

@@ -1,0 +1,214 @@
+// Package ddp reproduces the slice of PyTorch DistributedDataParallel that
+// PacTrain interacts with: gradient bucketing and the communication-hook
+// interface.
+//
+// DDP flattens parameter gradients into fixed-capacity one-dimensional
+// buckets, in *reverse registration order* (gradients become ready roughly
+// in reverse order during backward), and hands each bucket to a
+// communication hook as an opaque flat tensor. Parameter names and
+// boundaries are invisible to the hook — the abstraction gap that motivates
+// the paper's Mask Tracker (§III-C). This package reproduces that shape
+// faithfully: hooks receive flat float32 slices, and anything mask-aware
+// must recover structure from the values alone.
+//
+// The package also carries the compute-time model that converts the paper's
+// full-size model profiles (params, FLOPs) into simulated per-iteration
+// compute seconds (DESIGN.md §1).
+package ddp
+
+import (
+	"fmt"
+
+	"pactrain/internal/nn"
+	"pactrain/internal/prune"
+)
+
+// DefaultBucketBytes mirrors PyTorch DDP's 25 MiB default bucket size.
+const DefaultBucketBytes = 25 << 20
+
+// Bucket is one flattened gradient bucket.
+type Bucket struct {
+	Index int
+	// Params lists the parameters in bucket-internal order (reverse
+	// registration order).
+	Params []*nn.Parameter
+	// Flat is the flattened gradient storage, len = Σ param elements.
+	Flat []float32
+
+	offsets []int
+}
+
+// Elements returns the number of gradient scalars in the bucket.
+func (b *Bucket) Elements() int { return len(b.Flat) }
+
+// Gather copies the current parameter gradients into Flat.
+func (b *Bucket) Gather() {
+	for i, p := range b.Params {
+		copy(b.Flat[b.offsets[i]:b.offsets[i]+p.NumElements()], p.Grad.Data())
+	}
+}
+
+// Scatter copies Flat back into the parameter gradients.
+func (b *Bucket) Scatter() {
+	for i, p := range b.Params {
+		copy(p.Grad.Data(), b.Flat[b.offsets[i]:b.offsets[i]+p.NumElements()])
+	}
+}
+
+// Scale multiplies the flat gradient by alpha (used to average after a sum
+// all-reduce).
+func (b *Bucket) Scale(alpha float32) {
+	for i := range b.Flat {
+		b.Flat[i] *= alpha
+	}
+}
+
+// FlatKeepMask flattens a pruning mask into bucket order, with true for
+// parameters absent from the mask (never pruned). This helper exists for
+// verification; the PacTrain hook itself does not use it — it recovers the
+// pattern via the Mask Tracker, as the paper's hook must.
+func (b *Bucket) FlatKeepMask(mask *prune.Mask) []bool {
+	keep := make([]bool, len(b.Flat))
+	for i, p := range b.Params {
+		off := b.offsets[i]
+		pk := mask.Of(p.Name)
+		for j := 0; j < p.NumElements(); j++ {
+			if pk == nil {
+				keep[off+j] = true
+			} else {
+				keep[off+j] = pk[j]
+			}
+		}
+	}
+	return keep
+}
+
+// BuildBuckets partitions the model's parameters into buckets of at most
+// capBytes bytes (fp32), in reverse registration order. A parameter larger
+// than capBytes gets its own bucket.
+func BuildBuckets(m *nn.Model, capBytes int) []*Bucket {
+	if capBytes <= 0 {
+		capBytes = DefaultBucketBytes
+	}
+	params := m.Params()
+	var buckets []*Bucket
+	cur := &Bucket{}
+	curBytes := 0
+	flush := func() {
+		if len(cur.Params) == 0 {
+			return
+		}
+		total := 0
+		cur.offsets = make([]int, len(cur.Params))
+		for i, p := range cur.Params {
+			cur.offsets[i] = total
+			total += p.NumElements()
+		}
+		cur.Flat = make([]float32, total)
+		cur.Index = len(buckets)
+		buckets = append(buckets, cur)
+		cur = &Bucket{}
+		curBytes = 0
+	}
+	for i := len(params) - 1; i >= 0; i-- {
+		p := params[i]
+		pb := p.NumElements() * 4
+		if curBytes > 0 && curBytes+pb > capBytes {
+			flush()
+		}
+		cur.Params = append(cur.Params, p)
+		curBytes += pb
+	}
+	flush()
+	return buckets
+}
+
+// Hook is the communication-hook interface: Sync must replace b.Flat with
+// the *average* of all workers' bucket gradients and return the
+// synchronized completion time. Implementations live in internal/core.
+type Hook interface {
+	Name() string
+	Sync(rank int, b *Bucket, localTime float64) float64
+}
+
+// ComputeModel converts a model profile into simulated compute seconds. The
+// defaults approximate the paper's A40 workers.
+type ComputeModel struct {
+	// FLOPsPerSample is the forward-pass cost of one sample.
+	FLOPsPerSample int64
+	// DeviceFLOPS is the accelerator's peak throughput (fp32 FLOP/s).
+	DeviceFLOPS float64
+	// Efficiency is the achieved fraction of peak (0,1].
+	Efficiency float64
+	// BackwardFactor scales backward relative to forward (standard ≈ 2×).
+	BackwardFactor float64
+}
+
+// A40ComputeModel returns the default device model: an NVIDIA A40 at
+// 37.4 TFLOP/s fp32 (with TF32 paths) achieving 35% of peak on
+// training-sized kernels.
+func A40ComputeModel(flopsPerSample int64) ComputeModel {
+	return ComputeModel{
+		FLOPsPerSample: flopsPerSample,
+		DeviceFLOPS:    37.4e12,
+		Efficiency:     0.35,
+		BackwardFactor: 2,
+	}
+}
+
+// ForwardSeconds returns the simulated forward time for a batch.
+func (c ComputeModel) ForwardSeconds(batch int) float64 {
+	return float64(c.FLOPsPerSample) * float64(batch) / (c.DeviceFLOPS * c.Efficiency)
+}
+
+// BackwardSeconds returns the simulated backward time for a batch.
+func (c ComputeModel) BackwardSeconds(batch int) float64 {
+	return c.ForwardSeconds(batch) * c.BackwardFactor
+}
+
+// IterSeconds returns the total compute time of one iteration.
+func (c ComputeModel) IterSeconds(batch int) float64 {
+	return c.ForwardSeconds(batch) + c.BackwardSeconds(batch)
+}
+
+// Overlap selects how bucket communication interleaves with backward
+// compute when composing iteration time.
+type Overlap int
+
+// Overlap modes.
+const (
+	// OverlapNone serializes compute then communication — the conservative
+	// model used for the headline results (the paper's bottleneck regimes
+	// are communication-dominated, where overlap barely matters).
+	OverlapNone Overlap = iota
+	// OverlapBackward hides communication under backward compute: the
+	// iteration pays forward + max(backward, comm), DDP's best case.
+	OverlapBackward
+)
+
+// String implements fmt.Stringer.
+func (o Overlap) String() string {
+	switch o {
+	case OverlapNone:
+		return "none"
+	case OverlapBackward:
+		return "backward"
+	}
+	return "unknown"
+}
+
+// IterationTime composes one iteration's simulated duration from compute
+// and communication seconds under the given overlap model.
+func IterationTime(c ComputeModel, batch int, commSeconds float64, o Overlap) float64 {
+	switch o {
+	case OverlapNone:
+		return c.IterSeconds(batch) + commSeconds
+	case OverlapBackward:
+		bw := c.BackwardSeconds(batch)
+		if commSeconds > bw {
+			return c.ForwardSeconds(batch) + commSeconds
+		}
+		return c.IterSeconds(batch)
+	}
+	panic(fmt.Sprintf("ddp: unknown overlap mode %d", o))
+}

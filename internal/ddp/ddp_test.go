@@ -1,0 +1,190 @@
+package ddp
+
+import (
+	"math"
+	"testing"
+
+	"pactrain/internal/nn"
+	"pactrain/internal/prune"
+	"pactrain/internal/tensor"
+)
+
+func testModel(seed uint64) *nn.Model {
+	return nn.NewMLP(nn.LiteConfig{InChannels: 1, ImageSize: 4, Classes: 3, Seed: seed}, 16)
+}
+
+func TestBucketsCoverAllParamsOnce(t *testing.T) {
+	m := testModel(1)
+	buckets := BuildBuckets(m, 1024)
+	seen := map[string]int{}
+	total := 0
+	for _, b := range buckets {
+		total += b.Elements()
+		for _, p := range b.Params {
+			seen[p.Name]++
+		}
+	}
+	if total != m.NumParameters() {
+		t.Fatalf("buckets cover %d scalars, want %d", total, m.NumParameters())
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("param %s in %d buckets", name, n)
+		}
+	}
+}
+
+func TestBucketsReverseOrder(t *testing.T) {
+	m := testModel(2)
+	buckets := BuildBuckets(m, 1<<30) // one big bucket
+	if len(buckets) != 1 {
+		t.Fatalf("expected 1 bucket, got %d", len(buckets))
+	}
+	params := m.Params()
+	b := buckets[0]
+	if b.Params[0].Name != params[len(params)-1].Name {
+		t.Fatalf("first bucket param %s, want last registered %s",
+			b.Params[0].Name, params[len(params)-1].Name)
+	}
+	if b.Params[len(b.Params)-1].Name != params[0].Name {
+		t.Fatal("last bucket param should be first registered")
+	}
+}
+
+func TestBucketByteCap(t *testing.T) {
+	m := testModel(3)
+	capBytes := 512
+	buckets := BuildBuckets(m, capBytes)
+	if len(buckets) < 2 {
+		t.Fatalf("expected multiple buckets under %dB cap, got %d", capBytes, len(buckets))
+	}
+	for _, b := range buckets {
+		if len(b.Params) > 1 && b.Elements()*4 > capBytes {
+			t.Fatalf("bucket %d exceeds cap with %d bytes", b.Index, b.Elements()*4)
+		}
+	}
+}
+
+func TestOversizeParamGetsOwnBucket(t *testing.T) {
+	m := testModel(4)
+	buckets := BuildBuckets(m, 8) // smaller than any tensor
+	for _, b := range buckets {
+		if len(b.Params) != 1 {
+			t.Fatalf("bucket %d has %d params, want 1", b.Index, len(b.Params))
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	m := testModel(5)
+	r := tensor.NewRNG(9)
+	for _, p := range m.Params() {
+		for i := range p.Grad.Data() {
+			p.Grad.Data()[i] = float32(r.NormFloat64())
+		}
+	}
+	orig := map[string][]float32{}
+	for _, p := range m.Params() {
+		orig[p.Name] = append([]float32(nil), p.Grad.Data()...)
+	}
+	buckets := BuildBuckets(m, 1024)
+	for _, b := range buckets {
+		b.Gather()
+	}
+	m.ZeroGrad()
+	for _, b := range buckets {
+		b.Scatter()
+	}
+	for _, p := range m.Params() {
+		for i, v := range p.Grad.Data() {
+			if v != orig[p.Name][i] {
+				t.Fatalf("round trip lost %s[%d]", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := testModel(6)
+	buckets := BuildBuckets(m, 1<<30)
+	b := buckets[0]
+	for i := range b.Flat {
+		b.Flat[i] = 8
+	}
+	b.Scale(0.125)
+	for _, v := range b.Flat {
+		if v != 1 {
+			t.Fatalf("scale wrong: %v", v)
+		}
+	}
+}
+
+func TestFlatKeepMaskAlignsWithGSE(t *testing.T) {
+	m := testModel(7)
+	mask, _ := prune.MagnitudePrune(m, 0.5, prune.GlobalMagnitude)
+	mask.Apply(m)
+	// Build gradients, apply GSE via mask, flatten; the flat zero pattern
+	// must match FlatKeepMask (on prunable coordinates gradients may also
+	// be incidentally zero, so check one direction: !keep ⇒ zero).
+	r := tensor.NewRNG(3)
+	x := tensor.Randn(r, 1, 4, 1, 4, 4)
+	out := m.Forward(x, true)
+	_, grad := nn.SoftmaxCrossEntropy(out, []int{0, 1, 2, 0})
+	m.ZeroGrad()
+	m.Backward(grad)
+	for _, p := range m.Params() {
+		keep := mask.Of(p.Name)
+		g := p.Grad.Data()
+		for i := range g {
+			if !keep[i] {
+				g[i] = 0
+			}
+		}
+	}
+	buckets := BuildBuckets(m, 1<<30)
+	b := buckets[0]
+	b.Gather()
+	keep := b.FlatKeepMask(mask)
+	for i, v := range b.Flat {
+		if !keep[i] && v != 0 {
+			t.Fatalf("flat[%d] = %v where mask says pruned", i, v)
+		}
+	}
+}
+
+func TestComputeModelPhysics(t *testing.T) {
+	c := A40ComputeModel(1e9) // 1 GFLOP/sample
+	fwd := c.ForwardSeconds(32)
+	want := 1e9 * 32 / (37.4e12 * 0.35)
+	if math.Abs(fwd-want)/want > 1e-9 {
+		t.Fatalf("forward %v, want %v", fwd, want)
+	}
+	if c.BackwardSeconds(32) != 2*fwd {
+		t.Fatal("backward should be 2× forward")
+	}
+	if c.IterSeconds(32) != 3*fwd {
+		t.Fatal("iteration should be 3× forward")
+	}
+}
+
+func TestIterationTimeOverlap(t *testing.T) {
+	c := A40ComputeModel(1e9)
+	comm := 1.0
+	serial := IterationTime(c, 32, comm, OverlapNone)
+	if math.Abs(serial-(c.IterSeconds(32)+comm)) > 1e-12 {
+		t.Fatal("OverlapNone must serialize")
+	}
+	// Huge comm: overlapped time = fwd + comm.
+	big := IterationTime(c, 32, comm, OverlapBackward)
+	if math.Abs(big-(c.ForwardSeconds(32)+comm)) > 1e-12 {
+		t.Fatal("OverlapBackward with large comm should pay fwd+comm")
+	}
+	// Tiny comm: fully hidden.
+	small := IterationTime(c, 32, 1e-9, OverlapBackward)
+	if math.Abs(small-c.IterSeconds(32)) > 1e-10 {
+		t.Fatal("OverlapBackward with tiny comm should pay compute only")
+	}
+	if OverlapNone.String() != "none" || OverlapBackward.String() != "backward" {
+		t.Fatal("Overlap.String broken")
+	}
+}

@@ -1,0 +1,156 @@
+package gse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pactrain/internal/nn"
+	"pactrain/internal/prune"
+	"pactrain/internal/tensor"
+)
+
+func testModel(seed uint64) *nn.Model {
+	return nn.NewMLP(nn.LiteConfig{InChannels: 1, ImageSize: 4, Classes: 3, Seed: seed}, 16)
+}
+
+func backprop(m *nn.Model, seed uint64) {
+	r := tensor.NewRNG(seed)
+	x := tensor.Randn(r, 1, 4, 1, 4, 4)
+	out := m.Forward(x, true)
+	_, grad := nn.SoftmaxCrossEntropy(out, []int{0, 1, 2, 0})
+	m.ZeroGrad()
+	m.Backward(grad)
+}
+
+func TestEnforceZeroesPrunedGrads(t *testing.T) {
+	m := testModel(1)
+	mask, _ := prune.MagnitudePrune(m, 0.5, prune.GlobalMagnitude)
+	mask.Apply(m)
+	backprop(m, 2)
+	Enforce(m, mask)
+	for _, p := range m.Params() {
+		keep := mask.Of(p.Name)
+		for i, g := range p.Grad.Data() {
+			if !keep[i] && g != 0 {
+				t.Fatalf("grad %s[%d] = %v after GSE", p.Name, i, g)
+			}
+		}
+	}
+}
+
+// TestEq2Invariant is the paper's Eq. 2 property: after GSE,
+// support(grad) ⊆ support(weight), and this holds across optimizer steps.
+func TestEq2Invariant(t *testing.T) {
+	m := testModel(3)
+	mask, _ := prune.MagnitudePrune(m, 0.6, prune.GlobalMagnitude)
+	mask.Apply(m)
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	for step := 0; step < 5; step++ {
+		backprop(m, uint64(10+step))
+		Enforce(m, mask)
+		opt.Step(m.Params())
+		ZeroVelocity(opt, m, mask)
+		// Pruned weights must remain exactly zero forever.
+		for _, p := range m.Params() {
+			keep := mask.Of(p.Name)
+			for i, w := range p.W.Data() {
+				if !keep[i] && w != 0 {
+					t.Fatalf("step %d: pruned weight %s[%d] = %v resurrected", step, p.Name, i, w)
+				}
+			}
+		}
+	}
+}
+
+// TestWithoutGSEWeightsResurrect documents why GSE is necessary: without
+// it, pruned weights become non-zero after one step.
+func TestWithoutGSEWeightsResurrect(t *testing.T) {
+	m := testModel(4)
+	mask, _ := prune.MagnitudePrune(m, 0.6, prune.GlobalMagnitude)
+	mask.Apply(m)
+	opt := nn.NewSGD(0.05, 0, 0)
+	backprop(m, 20)
+	opt.Step(m.Params())
+	resurrected := 0
+	for _, p := range m.Params() {
+		keep := mask.Of(p.Name)
+		for i, w := range p.W.Data() {
+			if !keep[i] && w != 0 {
+				resurrected++
+			}
+		}
+	}
+	if resurrected == 0 {
+		t.Fatal("expected pruned weights to resurrect without GSE")
+	}
+}
+
+func TestEnforceByWeightMatchesEnforce(t *testing.T) {
+	a, b := testModel(5), testModel(5)
+	mask, _ := prune.MagnitudePrune(a, 0.5, prune.GlobalMagnitude)
+	mask.Apply(a)
+	mask.Apply(b)
+	backprop(a, 6)
+	backprop(b, 6)
+	Enforce(a, mask)
+	EnforceByWeight(b)
+	// The two forms agree on prunable weight tensors; the literal rule
+	// additionally freezes zero-initialized biases (documented divergence).
+	for i, p := range a.Params() {
+		if p.W.Rank() < 2 {
+			continue
+		}
+		pb := b.Params()[i]
+		for j := range p.Grad.Data() {
+			if p.Grad.Data()[j] != pb.Grad.Data()[j] {
+				t.Fatalf("Enforce and EnforceByWeight diverge at %s[%d]", p.Name, j)
+			}
+		}
+	}
+}
+
+func TestEnforceFlat(t *testing.T) {
+	g := []float32{1, 2, 3, 4}
+	EnforceFlat(g, []bool{true, false, true, false})
+	want := []float32{1, 0, 3, 0}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("EnforceFlat = %v", g)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	EnforceFlat(g, []bool{true})
+}
+
+// Property: GSE is idempotent and support(grad) ⊆ keep after enforcement.
+func TestPropertyGSEIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 5 + r.Intn(50)
+		g := make([]float32, n)
+		keep := make([]bool, n)
+		for i := range g {
+			g[i] = float32(r.NormFloat64())
+			keep[i] = r.Float64() < 0.5
+		}
+		EnforceFlat(g, keep)
+		snapshot := append([]float32(nil), g...)
+		EnforceFlat(g, keep)
+		for i := range g {
+			if g[i] != snapshot[i] {
+				return false
+			}
+			if !keep[i] && g[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

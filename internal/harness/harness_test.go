@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"pactrain/internal/netsim"
+)
+
+// quickOpts keeps harness tests fast: MLP twin, 4 workers, small dataset.
+func quickOpts() Options {
+	return Options{Quick: true, World: 4, Samples: 320, Seed: 3}
+}
+
+func TestRunFig3Quick(t *testing.T) {
+	res, err := RunFig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(res.Models) * len(res.Schemes) * len(res.Bandwidths)
+	if len(res.Cells) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), wantCells)
+	}
+	// The all-reduce baseline must be exactly 1.0 at every bandwidth.
+	for _, bw := range res.Bandwidths {
+		c, ok := res.Cell(res.Models[0], "all-reduce", bw)
+		if !ok {
+			t.Fatal("missing baseline cell")
+		}
+		if c.RelTTA != 1.0 {
+			t.Fatalf("baseline RelTTA %v, want 1.0", c.RelTTA)
+		}
+	}
+	// PacTrain must beat the baseline at the most constrained bandwidth.
+	pc, ok := res.Cell(res.Models[0], "pactrain-ternary", 100*netsim.Mbps)
+	if !ok {
+		t.Fatal("missing pactrain cell")
+	}
+	if pc.RelTTA >= 1.0 {
+		t.Fatalf("PacTrain RelTTA %v at 100 Mbps, want < 1.0", pc.RelTTA)
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig. 3", "PacTrain", "100 Mbps", "1 Gbps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3SpeedupGrowsAsBandwidthShrinks(t *testing.T) {
+	res, err := RunFig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := res.Models[0]
+	c100, _ := res.Cell(model, "pactrain-ternary", 100*netsim.Mbps)
+	c1g, _ := res.Cell(model, "pactrain-ternary", 1*netsim.Gbps)
+	if c100.Speedup < c1g.Speedup {
+		t.Fatalf("speedup at 100 Mbps (%v) should be ≥ at 1 Gbps (%v): compression matters more when the network is the bottleneck",
+			c100.Speedup, c1g.Speedup)
+	}
+}
+
+func TestRunFig5Quick(t *testing.T) {
+	res, err := RunFig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("got %d series, want 5", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Curve.Points) < 3 {
+			t.Fatalf("series %s has too few points (%d)", s.Scheme, len(s.Curve.Points))
+		}
+	}
+	if res.SpeedupVsAllReduce <= 0 {
+		t.Fatal("missing speedup vs all-reduce")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Fig. 5") || !strings.Contains(out, "PacTrain") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestRunFig6Quick(t *testing.T) {
+	res, err := RunFig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(res.Models) * len(res.Ratios)
+	if len(res.Points) != wantPoints {
+		t.Fatalf("got %d points, want %d", len(res.Points), wantPoints)
+	}
+	// Accuracy at moderate pruning must stay near the unpruned level, and
+	// extreme pruning must hurt (the Fig. 6 trade-off shape).
+	model := res.Models[0]
+	base, _ := res.Point(model, 0)
+	mid, _ := res.Point(model, 0.5)
+	hi, _ := res.Point(model, 0.9)
+	if base.FinalAcc < 0.5 {
+		t.Fatalf("unpruned baseline failed to learn: %v", base.FinalAcc)
+	}
+	if mid.FinalAcc < base.FinalAcc-0.15 {
+		t.Fatalf("ratio 0.5 dropped accuracy too much: %v vs %v", mid.FinalAcc, base.FinalAcc)
+	}
+	if hi.FinalAcc > mid.FinalAcc+0.05 {
+		// Extreme pruning should not beat moderate pruning.
+		t.Logf("note: ratio 0.9 acc %v vs 0.5 acc %v", hi.FinalAcc, mid.FinalAcc)
+	}
+	if !strings.Contains(res.Render(), "Fig. 6") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	res, err := RunTable1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Table1Schemes()) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(Table1Schemes()))
+	}
+	if err := res.VerifyAgainstPaper(); err != nil {
+		t.Fatal(err)
+	}
+	var pac *Table1Row
+	for i := range res.Rows {
+		if res.Rows[i].Scheme == "pactrain-ternary" {
+			pac = &res.Rows[i]
+		}
+	}
+	if pac == nil {
+		t.Fatal("missing PacTrain row")
+	}
+	if !pac.AllReduceCompatible {
+		t.Fatal("PacTrain must be all-reduce compatible")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "OmniReduce") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestAblationMTQuick(t *testing.T) {
+	res, err := RunAblationMT(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	// Larger windows cannot increase the compact-path fraction.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].StableFraction > res.Rows[i-1].StableFraction+1e-9 {
+			t.Fatalf("stable fraction grew with window: %+v", res.Rows)
+		}
+	}
+	if !strings.Contains(res.Render(), "stability window") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestAblationTernaryQuick(t *testing.T) {
+	res, err := RunAblationTernary(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	// At the most constrained bandwidth the ternary stage must not lose.
+	if res.Rows[0].TernaryTTA > res.Rows[0].PlainTTA*1.05 {
+		t.Fatalf("ternary TTA %v worse than plain %v at 100 Mbps",
+			res.Rows[0].TernaryTTA, res.Rows[0].PlainTTA)
+	}
+	if !strings.Contains(res.Render(), "ternary") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestAblationTopoQuick(t *testing.T) {
+	res, err := RunAblationTopo(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	// The chained-switch topology must be no faster than the flat one for
+	// the all-reduce scheme (the ring crosses bottleneck links).
+	var fig4, flat float64
+	for _, row := range res.Rows {
+		if row.Scheme == "all-reduce" {
+			if row.Topology == "fig4" {
+				fig4 = row.TTA
+			} else {
+				flat = row.TTA
+			}
+		}
+	}
+	if fig4 < flat {
+		t.Fatalf("fig4 all-reduce TTA %v should be ≥ flat %v", fig4, flat)
+	}
+	if !strings.Contains(res.Render(), "flat") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestDisplayNames(t *testing.T) {
+	if DisplayName("pactrain-ternary") != "PacTrain" {
+		t.Fatal("PacTrain display name wrong")
+	}
+	if DisplayName("topk-0.1") != "topk-0.1" {
+		t.Fatal("passthrough display name wrong")
+	}
+}
+
+func TestWorkloadPresets(t *testing.T) {
+	ws := PaperWorkloads()
+	if len(ws) != 4 {
+		t.Fatalf("paper workloads %d, want 4", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Model] = true
+		if w.TargetAcc <= 0 || w.TargetAcc >= 1 {
+			t.Fatalf("%s target %v out of range", w.Model, w.TargetAcc)
+		}
+	}
+	for _, want := range []string{"VGG19", "ResNet18", "ResNet152", "ViT-Base-16"} {
+		if !names[want] {
+			t.Fatalf("missing workload %s", want)
+		}
+		// Every workload needs a widened twin: 50% pruning must cost
+		// little accuracy, which requires overcapacity (DESIGN.md §1).
+		for _, w := range ws {
+			if w.Model == want && w.Width <= 8 {
+				t.Fatalf("%s twin width %d; paper-scale overcapacity needs > 8", want, w.Width)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"pactrain/internal/core"
+	"pactrain/internal/metrics"
+	"pactrain/internal/netsim"
+)
+
+// VarBWRow is one scheme's result under the oscillating-bandwidth trace.
+type VarBWRow struct {
+	Scheme     string
+	TTASeconds float64
+	Reached    bool
+	FinalAcc   float64
+}
+
+// VarBWResult reproduces the paper's "variable-constrained network
+// bandwidth" scenario (§I, §IV): the two inter-switch bottleneck links of
+// Fig. 4 oscillate between full speed and a deep dip, as WAN links between
+// small clusters do. Schemes with smaller payloads ride out the dips;
+// full-size all-reduce stalls in them.
+type VarBWResult struct {
+	Rows      []VarBWRow
+	Model     string
+	PeriodSec float64
+	DipScale  float64
+}
+
+// RunAblationVarBW measures TTA for the Fig. 3 schemes under an
+// oscillating bottleneck: full bandwidth and a 10× dip alternating with a
+// period sized to the baseline's run length, so every run experiences
+// several dips.
+func RunAblationVarBW(opt Options) (*VarBWResult, error) {
+	opt.defaults()
+	w := opt.workloads()[0]
+	out := &VarBWResult{Model: w.Model, DipScale: 0.1}
+	opt.logf("Ablation: variable-constrained bandwidth on %s", w.Model)
+
+	// Size the oscillation period from an untraced baseline run.
+	probeCfg := baseConfig(w, "all-reduce", opt)
+	probe, err := core.Run(probeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("varbw probe: %w", err)
+	}
+	period := probe.SimSeconds / 6
+	if period <= 0 {
+		period = 1
+	}
+	out.PeriodSec = period
+
+	mkTraces := func(topo *netsim.Topology) []*netsim.BandwidthTrace {
+		var traces []*netsim.BandwidthTrace
+		for _, li := range topo.InterSwitchLinks() {
+			var segs []netsim.TraceSegment
+			// Alternate full/dip windows long enough to outlast any run.
+			for k := 0; k < 4096; k++ {
+				scale := 1.0
+				if k%2 == 1 {
+					scale = out.DipScale
+				}
+				segs = append(segs, netsim.TraceSegment{UntilSec: float64(k+1) * period, Scale: scale})
+			}
+			segs = append(segs, netsim.TraceSegment{UntilSec: math.Inf(1), Scale: 1})
+			traces = append(traces, &netsim.BandwidthTrace{LinkIndex: li, Segments: segs})
+		}
+		return traces
+	}
+
+	for _, scheme := range []string{"all-reduce", "fp16", "pactrain-ternary"} {
+		cfg := baseConfig(w, scheme, opt)
+		// validate() builds the Fig. 4 topology; build it here so the
+		// trace link indices are known.
+		topo := netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: cfg.BottleneckBps})
+		cfg.Topology = topo
+		cfg.Traces = mkTraces(topo)
+		opt.logf("  training %s under oscillating bottleneck...", DisplayName(scheme))
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("varbw %s: %w", scheme, err)
+		}
+		tta, reached := res.Curve.TTA(w.TargetAcc)
+		out.Rows = append(out.Rows, VarBWRow{
+			Scheme: scheme, TTASeconds: tta, Reached: reached, FinalAcc: res.FinalAcc,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (r *VarBWResult) Render() string {
+	tb := metrics.NewTable(
+		fmt.Sprintf("Ablation — variable-constrained bandwidth (%s; bottleneck oscillates 1.0↔%.1f× every %s)",
+			r.Model, r.DipScale, metrics.FormatSeconds(r.PeriodSec)),
+		"scheme", "TTA", "reached", "final acc", "speedup")
+	var base float64
+	for _, row := range r.Rows {
+		if row.Scheme == "all-reduce" {
+			base = row.TTASeconds
+		}
+	}
+	for _, row := range r.Rows {
+		tb.AddRow(DisplayName(row.Scheme), metrics.FormatSeconds(row.TTASeconds),
+			fmt.Sprintf("%v", row.Reached), fmt.Sprintf("%.3f", row.FinalAcc),
+			fmt.Sprintf("%.2f×", metrics.Speedup(row.TTASeconds, base)))
+	}
+	return tb.String()
+}

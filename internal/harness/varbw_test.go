@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationVarBWQuick(t *testing.T) {
+	res, err := RunAblationVarBW(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	if res.PeriodSec <= 0 {
+		t.Fatal("oscillation period not derived")
+	}
+	// PacTrain's small payloads must ride out the dips better than the
+	// full-size baseline.
+	var base, pac float64
+	for _, row := range res.Rows {
+		switch row.Scheme {
+		case "all-reduce":
+			base = row.TTASeconds
+		case "pactrain-ternary":
+			pac = row.TTASeconds
+		}
+	}
+	if pac >= base {
+		t.Fatalf("PacTrain TTA %v should beat all-reduce %v under variable bandwidth", pac, base)
+	}
+	if !strings.Contains(res.Render(), "variable-constrained") {
+		t.Fatal("render malformed")
+	}
+}

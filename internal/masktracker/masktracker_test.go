@@ -1,0 +1,158 @@
+package masktracker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pactrain/internal/tensor"
+)
+
+func TestFirstObservationUnstable(t *testing.T) {
+	tr := New(2)
+	obs := tr.Observe([]float32{1, 0, 2})
+	if !obs.Changed || obs.Stable {
+		t.Fatalf("first observation: %+v", obs)
+	}
+	if obs.NNZ != 2 {
+		t.Fatalf("NNZ = %d", obs.NNZ)
+	}
+}
+
+func TestStabilityAfterWindow(t *testing.T) {
+	tr := New(2)
+	pattern := []float32{1, 0, 2, 0}
+	tr.Observe(pattern)
+	o2 := tr.Observe(pattern)
+	if o2.Changed || o2.Stable {
+		t.Fatalf("second identical observation should be unchanged but not yet stable: %+v", o2)
+	}
+	o3 := tr.Observe(pattern)
+	if !o3.Stable {
+		t.Fatalf("third identical observation should be stable: %+v", o3)
+	}
+	if !tr.Stable() {
+		t.Fatal("Tracker.Stable() disagrees")
+	}
+}
+
+func TestChangeResetsStability(t *testing.T) {
+	tr := New(1)
+	tr.Observe([]float32{1, 0})
+	tr.Observe([]float32{1, 0})
+	if !tr.Stable() {
+		t.Fatal("should be stable")
+	}
+	obs := tr.Observe([]float32{1, 1}) // support grew
+	if !obs.Changed || obs.Stable {
+		t.Fatalf("growth must reset: %+v", obs)
+	}
+	// Values changing while support constant is NOT a change.
+	tr2 := New(1)
+	tr2.Observe([]float32{1, 0, 3})
+	obs2 := tr2.Observe([]float32{5, 0, -2})
+	if obs2.Changed {
+		t.Fatal("same support with different values must not count as change")
+	}
+}
+
+// TestFlickeringZerosDoNotReset captures the union semantics: coordinates
+// already in the mask going momentarily to zero (dead units, ternary
+// quantization) must not destabilize the tracker.
+func TestFlickeringZerosDoNotReset(t *testing.T) {
+	tr := New(1)
+	tr.Observe([]float32{1, 2, 0})
+	tr.Observe([]float32{1, 2, 0})
+	if !tr.Stable() {
+		t.Fatal("should be stable")
+	}
+	obs := tr.Observe([]float32{1, 0, 0}) // coord 1 flickers to zero
+	if obs.Changed || !obs.Stable {
+		t.Fatalf("flicker inside the union must not reset: %+v", obs)
+	}
+	if obs.NNZ != 2 {
+		t.Fatalf("union NNZ %d, want 2", obs.NNZ)
+	}
+}
+
+func TestIndices(t *testing.T) {
+	tr := New(1)
+	if tr.Indices() != nil {
+		t.Fatal("Indices before observation must be nil")
+	}
+	tr.Observe([]float32{0, 1, 0, 2, 3})
+	idx := tr.Indices()
+	want := []int32{1, 3, 4}
+	if len(idx) != len(want) {
+		t.Fatalf("indices %v", idx)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("indices %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestLengthChangeResets(t *testing.T) {
+	tr := New(1)
+	tr.Observe([]float32{1, 0})
+	tr.Observe([]float32{1, 0})
+	obs := tr.Observe([]float32{1, 0, 5}) // bucket rebuilt with new size
+	if !obs.Changed || obs.Stable {
+		t.Fatalf("length change must reset: %+v", obs)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(1)
+	tr.Observe([]float32{1})
+	tr.Observe([]float32{1})
+	tr.Reset()
+	if tr.Stable() {
+		t.Fatal("Reset must clear stability")
+	}
+	obs := tr.Observe([]float32{1})
+	if !obs.Changed {
+		t.Fatal("first observation after Reset must count as changed")
+	}
+}
+
+func TestMinimumWindow(t *testing.T) {
+	tr := New(0) // clamped to 1
+	tr.Observe([]float32{1, 0})
+	obs := tr.Observe([]float32{1, 0})
+	if !obs.Stable {
+		t.Fatal("window 1: second identical observation should be stable")
+	}
+}
+
+// Property: a constant pattern always becomes stable after exactly
+// StableAfter+1 observations, and Indices agrees with the pattern.
+func TestPropertyStabilityConvergence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + r.Intn(64)
+		window := 1 + r.Intn(4)
+		flat := make([]float32, n)
+		nnz := 0
+		for i := range flat {
+			if r.Float64() < 0.5 {
+				flat[i] = float32(r.NormFloat64()) + 1 // guaranteed non-zero
+				nnz++
+			}
+		}
+		tr := New(window)
+		for i := 0; i < window; i++ {
+			if obs := tr.Observe(flat); obs.Stable {
+				return false // too early
+			}
+		}
+		obs := tr.Observe(flat)
+		if !obs.Stable || obs.NNZ != nnz {
+			return false
+		}
+		return len(tr.Indices()) == nnz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package netsim models the evaluation network of the PacTrain paper: an
+// alpha-beta (latency + bandwidth) fabric with an explicit topology of hosts
+// and switches, bottleneck inter-switch links, and optional time-varying
+// bandwidth. The collective-communication layer quotes every transfer
+// through this fabric, so time-to-accuracy under 100 Mbps / 500 Mbps /
+// 1 Gbps constraints can be reproduced without physical hardware.
+//
+// All times are in seconds and all rates in bits per second, matching the
+// units the paper reports.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Common bandwidth constants in bits per second.
+const (
+	Mbps = 1e6
+	Gbps = 1e9
+)
+
+// NodeID identifies a node (host or switch) in a topology.
+type NodeID int
+
+// NodeKind distinguishes traffic endpoints from forwarding elements.
+type NodeKind int
+
+// Node kinds.
+const (
+	Host NodeKind = iota
+	Switch
+)
+
+// Node is a vertex in the fabric graph.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind NodeKind
+}
+
+// Link is a full-duplex edge with a nominal bandwidth and one-way latency.
+type Link struct {
+	A, B         NodeID
+	BandwidthBps float64
+	LatencySec   float64
+}
+
+// Topology is an undirected graph of nodes and links.
+type Topology struct {
+	Nodes []Node
+	Links []Link
+
+	adj map[NodeID][]int // node → indices into Links
+}
+
+// NewTopology builds an empty topology.
+func NewTopology() *Topology {
+	return &Topology{adj: make(map[NodeID][]int)}
+}
+
+// AddNode appends a node and returns its ID.
+func (t *Topology) AddNode(name string, kind NodeKind) NodeID {
+	id := NodeID(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{ID: id, Name: name, Kind: kind})
+	return id
+}
+
+// AddLink connects two nodes with the given bandwidth and latency. It panics
+// on unknown nodes or non-positive bandwidth.
+func (t *Topology) AddLink(a, b NodeID, bandwidthBps, latencySec float64) int {
+	if int(a) >= len(t.Nodes) || int(b) >= len(t.Nodes) || a == b {
+		panic(fmt.Sprintf("netsim: invalid link %d-%d", a, b))
+	}
+	if bandwidthBps <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	idx := len(t.Links)
+	t.Links = append(t.Links, Link{A: a, B: b, BandwidthBps: bandwidthBps, LatencySec: latencySec})
+	t.adj[a] = append(t.adj[a], idx)
+	t.adj[b] = append(t.adj[b], idx)
+	return idx
+}
+
+// Hosts returns the IDs of all host nodes in insertion order.
+func (t *Topology) Hosts() []NodeID {
+	var hs []NodeID
+	for _, n := range t.Nodes {
+		if n.Kind == Host {
+			hs = append(hs, n.ID)
+		}
+	}
+	return hs
+}
+
+// Path returns the minimum-hop link-index path from src to dst using BFS,
+// or nil if unreachable.
+func (t *Topology) Path(src, dst NodeID) []int {
+	if src == dst {
+		return []int{}
+	}
+	prev := make(map[NodeID]int) // node → link index used to reach it
+	visited := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, li := range t.adj[cur] {
+			l := t.Links[li]
+			next := l.A
+			if next == cur {
+				next = l.B
+			}
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			prev[next] = li
+			if next == dst {
+				// Reconstruct.
+				var path []int
+				for n := dst; n != src; {
+					li := prev[n]
+					path = append([]int{li}, path...)
+					l := t.Links[li]
+					if l.A == n {
+						n = l.B
+					} else {
+						n = l.A
+					}
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// BandwidthTrace scales a link's bandwidth over time, modelling the
+// "variable-constrained network bandwidth" scenario in the paper. Segments
+// apply in order; the last segment extends to infinity.
+type BandwidthTrace struct {
+	LinkIndex int
+	Segments  []TraceSegment
+}
+
+// TraceSegment holds a bandwidth multiplier active until the given time.
+type TraceSegment struct {
+	UntilSec float64
+	Scale    float64
+}
+
+// scaleAt returns the multiplier active at time t.
+func (b *BandwidthTrace) scaleAt(t float64) float64 {
+	for _, s := range b.Segments {
+		if t < s.UntilSec {
+			return s.Scale
+		}
+	}
+	if n := len(b.Segments); n > 0 {
+		return b.Segments[n-1].Scale
+	}
+	return 1
+}
+
+// Fabric couples a topology with traffic accounting and bandwidth traces.
+// A Fabric is driven by the collective layer; methods are not safe for
+// concurrent use and callers serialize through the cluster rendezvous.
+type Fabric struct {
+	Topo *Topology
+
+	traces map[int]*BandwidthTrace
+
+	// BytesOnLink accumulates payload bytes crossing each link.
+	BytesOnLink []float64
+	// TotalBytes accumulates payload bytes across all transfers (counted
+	// once per transfer, not per hop).
+	TotalBytes float64
+}
+
+// NewFabric wraps a topology.
+func NewFabric(t *Topology) *Fabric {
+	return &Fabric{Topo: t, traces: make(map[int]*BandwidthTrace),
+		BytesOnLink: make([]float64, len(t.Links))}
+}
+
+// SetTrace installs a bandwidth trace on a link.
+func (f *Fabric) SetTrace(tr *BandwidthTrace) {
+	f.traces[tr.LinkIndex] = tr
+}
+
+// linkBandwidthAt returns the effective bandwidth of a link at time t.
+func (f *Fabric) linkBandwidthAt(li int, t float64) float64 {
+	bw := f.Topo.Links[li].BandwidthBps
+	if tr := f.traces[li]; tr != nil {
+		bw *= tr.scaleAt(t)
+	}
+	return bw
+}
+
+// PathQuote describes the cost of a transfer path at a point in time.
+type PathQuote struct {
+	BottleneckBps float64
+	LatencySec    float64
+	Hops          int
+}
+
+// Quote resolves the path from src to dst at time t and returns its
+// bottleneck bandwidth and cumulative latency. It returns an error when the
+// nodes are disconnected.
+func (f *Fabric) Quote(src, dst NodeID, t float64) (PathQuote, error) {
+	if src == dst {
+		return PathQuote{BottleneckBps: math.Inf(1)}, nil
+	}
+	path := f.Topo.Path(src, dst)
+	if path == nil {
+		return PathQuote{}, fmt.Errorf("netsim: no path from %d to %d", src, dst)
+	}
+	q := PathQuote{BottleneckBps: math.Inf(1), Hops: len(path)}
+	for _, li := range path {
+		bw := f.linkBandwidthAt(li, t)
+		if bw < q.BottleneckBps {
+			q.BottleneckBps = bw
+		}
+		q.LatencySec += f.Topo.Links[li].LatencySec
+	}
+	return q, nil
+}
+
+// TransferTime returns the time to move payloadBytes from src to dst
+// starting at time t, and records the bytes on every traversed link.
+func (f *Fabric) TransferTime(src, dst NodeID, payloadBytes float64, t float64) (float64, error) {
+	if src == dst {
+		return 0, nil
+	}
+	path := f.Topo.Path(src, dst)
+	if path == nil {
+		return 0, fmt.Errorf("netsim: no path from %d to %d", src, dst)
+	}
+	bottleneck := math.Inf(1)
+	latency := 0.0
+	for _, li := range path {
+		bw := f.linkBandwidthAt(li, t)
+		if bw < bottleneck {
+			bottleneck = bw
+		}
+		latency += f.Topo.Links[li].LatencySec
+		f.BytesOnLink[li] += payloadBytes
+	}
+	f.TotalBytes += payloadBytes
+	return latency + payloadBytes*8/bottleneck, nil
+}
+
+// ResetAccounting zeroes the byte counters.
+func (f *Fabric) ResetAccounting() {
+	for i := range f.BytesOnLink {
+		f.BytesOnLink[i] = 0
+	}
+	f.TotalBytes = 0
+}
+
+// --- Topology presets -------------------------------------------------------
+
+// Fig4Options configures the paper's evaluation topology.
+type Fig4Options struct {
+	// BottleneckBps is the bandwidth of the two inter-switch links whose
+	// speed the paper varies (100 Mbps, 500 Mbps, 1 Gbps).
+	BottleneckBps float64
+	// EdgeBps is the host-to-switch bandwidth (defaults to 10 Gbps).
+	EdgeBps float64
+	// LatencySec is the per-link one-way latency (defaults to 100 µs).
+	LatencySec float64
+}
+
+// Fig4Topology builds the evaluation topology of the paper's Fig. 4: eight
+// GPU servers spread across three virtual switches chained in a line, with
+// the two inter-switch links forming the bandwidth bottleneck.
+//
+//	S1 S2 S3      S4 S5 S6     S7 S8
+//	  \ | /        \ | /        \ /
+//	   sw0 ——————— sw1 ——————— sw2
+//	       (bottleneck)  (bottleneck)
+func Fig4Topology(opt Fig4Options) *Topology {
+	if opt.BottleneckBps <= 0 {
+		opt.BottleneckBps = 1 * Gbps
+	}
+	if opt.EdgeBps <= 0 {
+		opt.EdgeBps = 10 * Gbps
+	}
+	if opt.LatencySec <= 0 {
+		opt.LatencySec = 100e-6
+	}
+	t := NewTopology()
+	sw := make([]NodeID, 3)
+	for i := range sw {
+		sw[i] = t.AddNode(fmt.Sprintf("vswitch%d", i), Switch)
+	}
+	groups := [][]int{{1, 2, 3}, {4, 5, 6}, {7, 8}}
+	for g, servers := range groups {
+		for _, s := range servers {
+			h := t.AddNode(fmt.Sprintf("S%d", s), Host)
+			t.AddLink(h, sw[g], opt.EdgeBps, opt.LatencySec)
+		}
+	}
+	t.AddLink(sw[0], sw[1], opt.BottleneckBps, opt.LatencySec)
+	t.AddLink(sw[1], sw[2], opt.BottleneckBps, opt.LatencySec)
+	return t
+}
+
+// FlatTopology builds n hosts on a single switch with uniform bandwidth,
+// used by the ablation that isolates the bottleneck-link effect.
+func FlatTopology(n int, bandwidthBps, latencySec float64) *Topology {
+	t := NewTopology()
+	sw := t.AddNode("switch", Switch)
+	for i := 0; i < n; i++ {
+		h := t.AddNode(fmt.Sprintf("S%d", i+1), Host)
+		t.AddLink(h, sw, bandwidthBps, latencySec)
+	}
+	return t
+}
+
+// InterSwitchLinks returns the indices of links whose endpoints are both
+// switches — the bottleneck candidates in Fig. 4.
+func (t *Topology) InterSwitchLinks() []int {
+	var out []int
+	for i, l := range t.Links {
+		if t.Nodes[l.A].Kind == Switch && t.Nodes[l.B].Kind == Switch {
+			out = append(out, i)
+		}
+	}
+	return out
+}

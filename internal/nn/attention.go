@@ -1,0 +1,458 @@
+package nn
+
+import (
+	"math"
+
+	"pactrain/internal/tensor"
+)
+
+// MultiHeadAttention implements standard scaled-dot-product multi-head
+// self-attention over (N, T, D) token tensors, the core of the ViT workload
+// in the paper's evaluation. D must be divisible by the head count.
+type MultiHeadAttention struct {
+	Wq, Wk, Wv, Wo *Parameter
+	Bq, Bk, Bv, Bo *Parameter
+
+	D, Heads, Dh int
+
+	// Per-sample caches for backward.
+	lastX    *tensor.Tensor
+	lastQ    []*tensor.Tensor // per sample (T, D)
+	lastK    []*tensor.Tensor
+	lastV    []*tensor.Tensor
+	lastAttn [][]*tensor.Tensor // [sample][head] (T, T)
+	lastO    []*tensor.Tensor   // per sample concatenated head outputs (T, D)
+}
+
+// NewMultiHeadAttention constructs an attention layer with Xavier-initialized
+// projections.
+func NewMultiHeadAttention(name string, r *tensor.RNG, d, heads int) *MultiHeadAttention {
+	if d%heads != 0 {
+		panic("nn: attention dim must be divisible by head count")
+	}
+	mk := func(suffix string) *Parameter {
+		return NewParameter(name+"."+suffix, tensor.XavierInit(r, d, d, d, d))
+	}
+	mkb := func(suffix string) *Parameter {
+		return NewParameter(name+"."+suffix, tensor.New(d))
+	}
+	return &MultiHeadAttention{
+		Wq: mk("q.weight"), Wk: mk("k.weight"), Wv: mk("v.weight"), Wo: mk("out.weight"),
+		Bq: mkb("q.bias"), Bk: mkb("k.bias"), Bv: mkb("v.bias"), Bo: mkb("out.bias"),
+		D: d, Heads: heads, Dh: d / heads,
+	}
+}
+
+// project computes X·W + b for X of shape (T, D).
+func project(x *tensor.Tensor, w, b *Parameter) *tensor.Tensor {
+	out := tensor.MatMul(x, w.W)
+	t, d := out.Dim(0), out.Dim(1)
+	od, bd := out.Data(), b.W.Data()
+	for i := 0; i < t; i++ {
+		row := od[i*d : (i+1)*d]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return out
+}
+
+// colBlock copies columns [from,to) of a (T, D) matrix into a (T, to-from)
+// matrix.
+func colBlock(x *tensor.Tensor, from, to int) *tensor.Tensor {
+	t, d := x.Dim(0), x.Dim(1)
+	w := to - from
+	out := tensor.New(t, w)
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < t; i++ {
+		copy(od[i*w:(i+1)*w], xd[i*d+from:i*d+to])
+	}
+	return out
+}
+
+// addColBlock accumulates a (T, w) matrix into columns [from,from+w) of dst.
+func addColBlock(dst, src *tensor.Tensor, from int) {
+	t, d := dst.Dim(0), dst.Dim(1)
+	w := src.Dim(1)
+	dd, sd := dst.Data(), src.Data()
+	for i := 0; i < t; i++ {
+		drow := dd[i*d+from : i*d+from+w]
+		srow := sd[i*w : (i+1)*w]
+		for j := range drow {
+			drow[j] += srow[j]
+		}
+	}
+}
+
+// sampleSlice views sample i of a (N, T, D) tensor as a (T, D) tensor
+// sharing storage.
+func sampleSlice(x *tensor.Tensor, i int) *tensor.Tensor {
+	t, d := x.Dim(1), x.Dim(2)
+	return tensor.FromSlice(x.Data()[i*t*d:(i+1)*t*d], t, d)
+}
+
+// Forward implements Layer.
+func (l *MultiHeadAttention) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	l.lastX = x
+	l.lastQ = make([]*tensor.Tensor, n)
+	l.lastK = make([]*tensor.Tensor, n)
+	l.lastV = make([]*tensor.Tensor, n)
+	l.lastAttn = make([][]*tensor.Tensor, n)
+	l.lastO = make([]*tensor.Tensor, n)
+	out := tensor.New(n, t, d)
+	scale := float32(1 / math.Sqrt(float64(l.Dh)))
+
+	for s := 0; s < n; s++ {
+		xs := sampleSlice(x, s)
+		q := project(xs, l.Wq, l.Bq)
+		k := project(xs, l.Wk, l.Bk)
+		v := project(xs, l.Wv, l.Bv)
+		l.lastQ[s], l.lastK[s], l.lastV[s] = q, k, v
+		l.lastAttn[s] = make([]*tensor.Tensor, l.Heads)
+		o := tensor.New(t, d)
+		for h := 0; h < l.Heads; h++ {
+			from := h * l.Dh
+			qh := colBlock(q, from, from+l.Dh)
+			kh := colBlock(k, from, from+l.Dh)
+			vh := colBlock(v, from, from+l.Dh)
+			scores := tensor.New(t, t)
+			tensor.MatMulTransBInto(scores, qh, kh)
+			scores.ScaleInPlace(scale)
+			softmaxRows(scores)
+			l.lastAttn[s][h] = scores
+			oh := tensor.MatMul(scores, vh)
+			addColBlock(o, oh, from)
+		}
+		l.lastO[s] = o
+		y := project(o, l.Wo, l.Bo)
+		copy(out.Data()[s*t*d:(s+1)*t*d], y.Data())
+	}
+	return out
+}
+
+// softmaxRows applies softmax to each row of a rank-2 tensor in place.
+func softmaxRows(x *tensor.Tensor) {
+	t, c := x.Dim(0), x.Dim(1)
+	d := x.Data()
+	for i := 0; i < t; i++ {
+		row := d[i*c : (i+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			row[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// Backward implements Layer.
+func (l *MultiHeadAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, t, d := grad.Dim(0), grad.Dim(1), grad.Dim(2)
+	dx := tensor.New(n, t, d)
+	scale := float32(1 / math.Sqrt(float64(l.Dh)))
+
+	for s := 0; s < n; s++ {
+		gs := sampleSlice(grad, s)
+		xs := sampleSlice(l.lastX, s)
+		o := l.lastO[s]
+
+		// Output projection: y = o·Wo + bo.
+		dWo := tensor.New(d, d)
+		tensor.MatMulTransAInto(dWo, o, gs)
+		tensor.AxpyInto(l.Wo.Grad, 1, dWo)
+		accumBias(l.Bo.Grad, gs)
+		do := tensor.New(t, d)
+		tensor.MatMulTransBInto(do, gs, l.Wo.W)
+
+		dq := tensor.New(t, d)
+		dk := tensor.New(t, d)
+		dv := tensor.New(t, d)
+		for h := 0; h < l.Heads; h++ {
+			from := h * l.Dh
+			doh := colBlock(do, from, from+l.Dh)
+			attn := l.lastAttn[s][h]
+			vh := colBlock(l.lastV[s], from, from+l.Dh)
+			qh := colBlock(l.lastQ[s], from, from+l.Dh)
+			kh := colBlock(l.lastK[s], from, from+l.Dh)
+
+			// oh = attn · vh.
+			dAttn := tensor.New(t, t)
+			tensor.MatMulTransBInto(dAttn, doh, vh)
+			dVh := tensor.New(t, l.Dh)
+			tensor.MatMulTransAInto(dVh, attn, doh)
+
+			// Softmax backward per row: ds = A ⊙ (dA − Σ(dA⊙A)).
+			ad, dad := attn.Data(), dAttn.Data()
+			for i := 0; i < t; i++ {
+				var dot float64
+				for j := 0; j < t; j++ {
+					dot += float64(dad[i*t+j]) * float64(ad[i*t+j])
+				}
+				for j := 0; j < t; j++ {
+					dad[i*t+j] = ad[i*t+j] * (dad[i*t+j] - float32(dot))
+				}
+			}
+			dAttn.ScaleInPlace(scale)
+
+			// scores = qh·khᵀ.
+			dQh := tensor.MatMul(dAttn, kh)
+			dKh := tensor.New(t, l.Dh)
+			tensor.MatMulTransAInto(dKh, dAttn, qh)
+
+			addColBlock(dq, dQh, from)
+			addColBlock(dk, dKh, from)
+			addColBlock(dv, dVh, from)
+		}
+
+		// Input projections: q = x·Wq + bq etc.
+		dxs := sampleSlice(dx, s)
+		backProject(l.Wq, l.Bq, xs, dq, dxs)
+		backProject(l.Wk, l.Bk, xs, dk, dxs)
+		backProject(l.Wv, l.Bv, xs, dv, dxs)
+	}
+	return dx
+}
+
+// backProject accumulates gradients for a projection y = x·W + b given dY,
+// adding the input gradient into dxAccum.
+func backProject(w, b *Parameter, x, dy, dxAccum *tensor.Tensor) {
+	d := w.W.Dim(0)
+	dW := tensor.New(d, w.W.Dim(1))
+	tensor.MatMulTransAInto(dW, x, dy)
+	tensor.AxpyInto(w.Grad, 1, dW)
+	accumBias(b.Grad, dy)
+	dxPart := tensor.New(x.Dim(0), d)
+	tensor.MatMulTransBInto(dxPart, dy, w.W)
+	tensor.AxpyInto(dxAccum, 1, dxPart)
+}
+
+// accumBias adds the column sums of a (T, D) gradient into a (D) bias grad.
+func accumBias(biasGrad, dy *tensor.Tensor) {
+	t, d := dy.Dim(0), dy.Dim(1)
+	bg, gd := biasGrad.Data(), dy.Data()
+	for i := 0; i < t; i++ {
+		row := gd[i*d : (i+1)*d]
+		for j := range row {
+			bg[j] += row[j]
+		}
+	}
+}
+
+// Params implements Layer.
+func (l *MultiHeadAttention) Params() []*Parameter {
+	return []*Parameter{l.Wq, l.Bq, l.Wk, l.Bk, l.Wv, l.Bv, l.Wo, l.Bo}
+}
+
+// PatchEmbed splits an image into non-overlapping patches, projects each to
+// an embedding, prepends a learnable class token, and adds positional
+// embeddings: (N, C, H, W) → (N, T+1, D) with T = (H/ps)·(W/ps).
+type PatchEmbed struct {
+	Proj   *Parameter // (D, C*ps*ps)
+	Bias   *Parameter // (D)
+	Cls    *Parameter // (D)
+	PosEmb *Parameter // (T+1, D)
+
+	C, PS, D, T int
+
+	lastCols  *tensor.Tensor
+	lastShape []int
+}
+
+// NewPatchEmbed constructs the embedding for images of (c, h, w) with square
+// patch size ps and embedding dimension d.
+func NewPatchEmbed(name string, r *tensor.RNG, c, h, w, ps, d int) *PatchEmbed {
+	if h%ps != 0 || w%ps != 0 {
+		panic("nn: image size must be divisible by patch size")
+	}
+	t := (h / ps) * (w / ps)
+	patch := c * ps * ps
+	return &PatchEmbed{
+		Proj:   NewParameter(name+".proj.weight", tensor.XavierInit(r, patch, d, d, patch)),
+		Bias:   NewParameter(name+".proj.bias", tensor.New(d)),
+		Cls:    NewParameter(name+".cls", tensor.Randn(r, 0.02, d)),
+		PosEmb: NewParameter(name+".pos", tensor.Randn(r, 0.02, t+1, d)),
+		C:      c, PS: ps, D: d, T: t,
+	}
+}
+
+// Forward implements Layer.
+func (l *PatchEmbed) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n := x.Dim(0)
+	l.lastShape = append(l.lastShape[:0], x.Shape()...)
+	cols := tensor.Im2Col(x, l.PS, l.PS, l.PS, 0) // (N*T, patch)
+	l.lastCols = cols
+	proj := tensor.New(n*l.T, l.D)
+	tensor.MatMulTransBInto(proj, cols, l.Proj.W)
+
+	out := tensor.New(n, l.T+1, l.D)
+	od, pd := out.Data(), proj.Data()
+	bd, cd, ed := l.Bias.W.Data(), l.Cls.W.Data(), l.PosEmb.W.Data()
+	for s := 0; s < n; s++ {
+		base := s * (l.T + 1) * l.D
+		for j := 0; j < l.D; j++ {
+			od[base+j] = cd[j] + ed[j]
+		}
+		for tk := 0; tk < l.T; tk++ {
+			src := pd[(s*l.T+tk)*l.D : (s*l.T+tk+1)*l.D]
+			dst := od[base+(tk+1)*l.D : base+(tk+2)*l.D]
+			pos := ed[(tk+1)*l.D : (tk+2)*l.D]
+			for j := range dst {
+				dst[j] = src[j] + bd[j] + pos[j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *PatchEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	gd := grad.Data()
+	cg, eg, bg := l.Cls.Grad.Data(), l.PosEmb.Grad.Data(), l.Bias.Grad.Data()
+	dProj := tensor.New(n*l.T, l.D)
+	dpd := dProj.Data()
+	for s := 0; s < n; s++ {
+		base := s * (l.T + 1) * l.D
+		for j := 0; j < l.D; j++ {
+			cg[j] += gd[base+j]
+			eg[j] += gd[base+j]
+		}
+		for tk := 0; tk < l.T; tk++ {
+			row := gd[base+(tk+1)*l.D : base+(tk+2)*l.D]
+			pos := eg[(tk+1)*l.D : (tk+2)*l.D]
+			dst := dpd[(s*l.T+tk)*l.D : (s*l.T+tk+1)*l.D]
+			for j, v := range row {
+				pos[j] += v
+				bg[j] += v
+				dst[j] = v
+			}
+		}
+	}
+	// dW = dProjᵀ × cols → (D, patch).
+	dW := tensor.New(l.D, l.Proj.W.Dim(1))
+	tensor.MatMulTransAInto(dW, dProj, l.lastCols)
+	tensor.AxpyInto(l.Proj.Grad, 1, dW)
+	// dcols = dProj × W.
+	dcols := tensor.MatMul(dProj, l.Proj.W)
+	h, w := l.lastShape[2], l.lastShape[3]
+	return tensor.Col2Im(dcols, n, l.C, h, w, l.PS, l.PS, l.PS, 0)
+}
+
+// Params implements Layer.
+func (l *PatchEmbed) Params() []*Parameter {
+	return []*Parameter{l.Proj, l.Bias, l.Cls, l.PosEmb}
+}
+
+// TransformerBlock is a pre-norm transformer encoder block:
+//
+//	x = x + MHA(LN1(x)); x = x + MLP(LN2(x))
+//
+// with a GELU MLP of expansion factor mlpRatio.
+type TransformerBlock struct {
+	LN1  *LayerNorm
+	Attn *MultiHeadAttention
+	LN2  *LayerNorm
+	FC1  *Linear
+	Act  *GELU
+	FC2  *Linear
+
+	lastShape []int
+}
+
+// NewTransformerBlock builds a block of width d with the given head count
+// and MLP expansion ratio.
+func NewTransformerBlock(name string, r *tensor.RNG, d, heads, mlpRatio int) *TransformerBlock {
+	return &TransformerBlock{
+		LN1:  NewLayerNorm(name+".ln1", d),
+		Attn: NewMultiHeadAttention(name+".attn", r, d, heads),
+		LN2:  NewLayerNorm(name+".ln2", d),
+		FC1:  NewLinear(name+".mlp.fc1", r, d, d*mlpRatio),
+		Act:  NewGELU(),
+		FC2:  NewLinear(name+".mlp.fc2", r, d*mlpRatio, d),
+	}
+}
+
+// Forward implements Layer.
+func (l *TransformerBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	l.lastShape = []int{n, t, d}
+	a := l.Attn.Forward(l.LN1.Forward(x, train), train)
+	x1 := tensor.Add(x, a)
+	h := l.LN2.Forward(x1, train)
+	h2 := l.FC1.Forward(h.Reshape(n*t, d), train)
+	h3 := l.Act.Forward(h2, train)
+	h4 := l.FC2.Forward(h3, train)
+	return tensor.Add(x1, h4.Reshape(n, t, d))
+}
+
+// Backward implements Layer.
+func (l *TransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, t, d := l.lastShape[0], l.lastShape[1], l.lastShape[2]
+	// MLP branch.
+	gm := l.FC2.Backward(grad.Reshape(n*t, d))
+	gm = l.Act.Backward(gm)
+	gm = l.FC1.Backward(gm)
+	gm = l.LN2.Backward(gm.Reshape(n, t, d))
+	dx1 := tensor.Add(grad, gm)
+	// Attention branch.
+	ga := l.Attn.Backward(dx1)
+	ga = l.LN1.Backward(ga)
+	return tensor.Add(dx1, ga)
+}
+
+// Params implements Layer.
+func (l *TransformerBlock) Params() []*Parameter {
+	var ps []*Parameter
+	ps = append(ps, l.LN1.Params()...)
+	ps = append(ps, l.Attn.Params()...)
+	ps = append(ps, l.LN2.Params()...)
+	ps = append(ps, l.FC1.Params()...)
+	ps = append(ps, l.FC2.Params()...)
+	return ps
+}
+
+// TokenPool extracts the class token (index 0) from (N, T, D), producing
+// (N, D) for the classifier head.
+type TokenPool struct {
+	lastShape []int
+}
+
+// NewTokenPool returns a class-token pooling layer.
+func NewTokenPool() *TokenPool { return &TokenPool{} }
+
+// Forward implements Layer.
+func (l *TokenPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	l.lastShape = []int{n, t, d}
+	out := tensor.New(n, d)
+	xd, od := x.Data(), out.Data()
+	for s := 0; s < n; s++ {
+		copy(od[s*d:(s+1)*d], xd[s*t*d:s*t*d+d])
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *TokenPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, t, d := l.lastShape[0], l.lastShape[1], l.lastShape[2]
+	dx := tensor.New(n, t, d)
+	gd, dd := grad.Data(), dx.Data()
+	for s := 0; s < n; s++ {
+		copy(dd[s*t*d:s*t*d+d], gd[s*d:(s+1)*d])
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *TokenPool) Params() []*Parameter { return nil }

@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint format: the paper's workflow starts from a pre-trained model
+// (§III-A), so the library supports saving and restoring named weights.
+// The format is a simple little-endian binary layout:
+//
+//	magic "PACTCKPT" | uint32 version | uint32 paramCount
+//	per parameter: uint32 nameLen | name | uint32 rank | uint32 dims… |
+//	               float32 data…
+//
+// Parameters are matched by name on load, so a checkpoint survives
+// unrelated architectural reordering but rejects shape changes.
+
+const (
+	checkpointMagic   = "PACTCKPT"
+	checkpointVersion = 1
+)
+
+// SaveWeights writes all model parameters to w.
+func SaveWeights(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		shape := p.W.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.W.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores parameters by name from r. Every parameter in the
+// checkpoint must exist in the model with an identical shape; model
+// parameters missing from the checkpoint are left untouched.
+func LoadWeights(r io.Reader, m *Model) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	byName := make(map[string]*Parameter, len(m.Params()))
+	for _, p := range m.Params() {
+		byName[p.Name] = p
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return err
+		}
+		name := string(nameBytes)
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		if rank > 8 {
+			return fmt.Errorf("nn: implausible rank %d for %s", rank, name)
+		}
+		shape := make([]int, rank)
+		n := 1
+		for d := range shape {
+			var dim uint32
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return err
+			}
+			shape[d] = int(dim)
+			n *= int(dim)
+		}
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint parameter %q not in model", name)
+		}
+		if !sameShape(p.W.Shape(), shape) {
+			return fmt.Errorf("nn: parameter %q shape %v does not match checkpoint %v",
+				name, p.W.Shape(), shape)
+		}
+		data := p.W.Data()
+		for j := 0; j < n; j++ {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			data[j] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Checksum returns a cheap order-sensitive digest of the model weights,
+// used by tests and by replica-divergence checks.
+func Checksum(m *Model) float64 {
+	var sum float64
+	for i, p := range m.Params() {
+		for j, v := range p.W.Data() {
+			sum += float64(v) * float64((i+1)*31+(j%97))
+		}
+	}
+	return sum
+}

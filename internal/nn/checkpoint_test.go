@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := DefaultLiteConfig(10, 33)
+	src := NewVGGLite(cfg)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a differently initialized replica.
+	cfg2 := cfg
+	cfg2.Seed = 99
+	dst := NewVGGLite(cfg2)
+	if Checksum(src) == Checksum(dst) {
+		t.Fatal("test premise broken: replicas already identical")
+	}
+	if err := LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(src) != Checksum(dst) {
+		t.Fatal("round trip did not restore weights")
+	}
+	for i, p := range src.Params() {
+		q := dst.Params()[i]
+		for j := range p.W.Data() {
+			if p.W.Data()[j] != q.W.Data()[j] {
+				t.Fatalf("param %s[%d] differs after load", p.Name, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsBadMagic(t *testing.T) {
+	m := NewMLP(DefaultLiteConfig(10, 1), 16)
+	err := LoadWeights(strings.NewReader("NOTACKPT..."), m)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("expected magic error, got %v", err)
+	}
+}
+
+func TestCheckpointRejectsShapeMismatch(t *testing.T) {
+	a := NewMLP(DefaultLiteConfig(10, 1), 16)
+	b := NewMLP(DefaultLiteConfig(10, 1), 32) // different hidden width
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadWeights(&buf, b)
+	if err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("expected shape error, got %v", err)
+	}
+}
+
+func TestCheckpointRejectsUnknownParam(t *testing.T) {
+	a := NewMLP(DefaultLiteConfig(10, 1), 16)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	// A VGG model has entirely different parameter names.
+	b := NewVGGLite(DefaultLiteConfig(10, 1))
+	if err := LoadWeights(&buf, b); err == nil {
+		t.Fatal("expected unknown-parameter error")
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	a := NewMLP(DefaultLiteConfig(10, 1), 16)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()/2]
+	if err := LoadWeights(bytes.NewReader(short), a); err == nil {
+		t.Fatal("expected error on truncated checkpoint")
+	}
+}
+
+func TestChecksumSensitive(t *testing.T) {
+	m := NewMLP(DefaultLiteConfig(10, 5), 16)
+	before := Checksum(m)
+	m.Params()[0].W.Data()[0] += 1
+	if Checksum(m) == before {
+		t.Fatal("checksum insensitive to weight change")
+	}
+}

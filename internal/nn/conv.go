@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"pactrain/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (N, C, H, W) inputs using im2col
+// lowering. Weights are stored as a (outC, inC*kh*kw) matrix; bias is per
+// output channel.
+type Conv2D struct {
+	Weight *Parameter
+	Bias   *Parameter
+
+	InC, OutC      int
+	KH, KW         int
+	Stride, Pad    int
+	lastCols       *tensor.Tensor
+	lastInputShape []int
+}
+
+// NewConv2D constructs a convolution layer with Kaiming initialization.
+func NewConv2D(name string, r *tensor.RNG, inC, outC, k, stride, pad int) *Conv2D {
+	fanIn := inC * k * k
+	return &Conv2D{
+		Weight: NewParameter(name+".weight", tensor.KaimingInit(r, fanIn, outC, fanIn)),
+		Bias:   NewParameter(name+".bias", tensor.New(outC)),
+		InC:    inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+	}
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := tensor.ConvOutSize(h, l.KH, l.Stride, l.Pad)
+	outW := tensor.ConvOutSize(w, l.KW, l.Stride, l.Pad)
+	cols := tensor.Im2Col(x, l.KH, l.KW, l.Stride, l.Pad) // (N*outH*outW, inC*kh*kw)
+	l.lastCols = cols
+	l.lastInputShape = append(l.lastInputShape[:0], x.Shape()...)
+
+	// out = cols × Wᵀ : (rows, outC)
+	rows := cols.Dim(0)
+	outMat := tensor.New(rows, l.OutC)
+	tensor.MatMulTransBInto(outMat, cols, l.Weight.W)
+
+	// Add bias and permute (N*outH*outW, outC) → (N, outC, outH, outW).
+	out := tensor.New(n, l.OutC, outH, outW)
+	od, md, bd := out.Data(), outMat.Data(), l.Bias.W.Data()
+	spatial := outH * outW
+	for img := 0; img < n; img++ {
+		for s := 0; s < spatial; s++ {
+			row := md[(img*spatial+s)*l.OutC : (img*spatial+s+1)*l.OutC]
+			for f, v := range row {
+				od[(img*l.OutC+f)*spatial+s] = v + bd[f]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := l.lastInputShape[0]
+	h, w := l.lastInputShape[2], l.lastInputShape[3]
+	outH := tensor.ConvOutSize(h, l.KH, l.Stride, l.Pad)
+	outW := tensor.ConvOutSize(w, l.KW, l.Stride, l.Pad)
+	spatial := outH * outW
+	rows := n * spatial
+
+	// Un-permute grad (N, outC, outH, outW) → (rows, outC).
+	gm := tensor.New(rows, l.OutC)
+	gd, gmd := grad.Data(), gm.Data()
+	for img := 0; img < n; img++ {
+		for f := 0; f < l.OutC; f++ {
+			src := gd[(img*l.OutC+f)*spatial : (img*l.OutC+f+1)*spatial]
+			for s, v := range src {
+				gmd[(img*spatial+s)*l.OutC+f] = v
+			}
+		}
+	}
+
+	// Bias gradient: column sums of gm.
+	bg := l.Bias.Grad.Data()
+	for r := 0; r < rows; r++ {
+		row := gmd[r*l.OutC : (r+1)*l.OutC]
+		for f, v := range row {
+			bg[f] += v
+		}
+	}
+
+	// Weight gradient: dW = gmᵀ × cols → (outC, inC*kh*kw).
+	patch := l.Weight.W.Dim(1)
+	dW := tensor.New(l.OutC, patch)
+	tensor.MatMulTransAInto(dW, gm, l.lastCols)
+	tensor.AxpyInto(l.Weight.Grad, 1, dW)
+
+	// Input gradient: dcols = gm × W → (rows, patch); then col2im.
+	dcols := tensor.MatMul(gm, l.Weight.W)
+	return tensor.Col2Im(dcols, n, l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad)
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Parameter { return []*Parameter{l.Weight, l.Bias} }
+
+// MaxPool2D is a max pooling layer over (N, C, H, W).
+type MaxPool2D struct {
+	K, Stride int
+
+	argmax    []int
+	lastShape []int
+}
+
+// NewMaxPool2D constructs a max-pool with square window k and the given
+// stride.
+func NewMaxPool2D(k, stride int) *MaxPool2D { return &MaxPool2D{K: k, Stride: stride} }
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := tensor.ConvOutSize(h, l.K, l.Stride, 0)
+	outW := tensor.ConvOutSize(w, l.K, l.Stride, 0)
+	out := tensor.New(n, c, outH, outW)
+	l.lastShape = append(l.lastShape[:0], x.Shape()...)
+	if cap(l.argmax) < out.Len() {
+		l.argmax = make([]int, out.Len())
+	}
+	l.argmax = l.argmax[:out.Len()]
+	xd, od := x.Data(), out.Data()
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					iy0, ix0 := oy*l.Stride, ox*l.Stride
+					bestIdx := base + iy0*w + ix0
+					best := xd[bestIdx]
+					for ky := 0; ky < l.K; ky++ {
+						iy := iy0 + ky
+						if iy >= h {
+							break
+						}
+						for kx := 0; kx < l.K; kx++ {
+							ix := ix0 + kx
+							if ix >= w {
+								break
+							}
+							idx := base + iy*w + ix
+							if xd[idx] > best {
+								best, bestIdx = xd[idx], idx
+							}
+						}
+					}
+					od[oi] = best
+					l.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.lastShape...)
+	dd, gd := dx.Data(), grad.Data()
+	for i, src := range l.argmax {
+		dd[src] += gd[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Parameter { return nil }
+
+// GlobalAvgPool2D averages each channel's spatial plane, mapping
+// (N, C, H, W) → (N, C). ResNet-style models use it before the classifier.
+type GlobalAvgPool2D struct {
+	lastShape []int
+}
+
+// NewGlobalAvgPool2D constructs the layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	l.lastShape = append(l.lastShape[:0], x.Shape()...)
+	out := tensor.New(n, c)
+	xd, od := x.Data(), out.Data()
+	area := h * w
+	inv := 1 / float32(area)
+	for i := 0; i < n*c; i++ {
+		var s float32
+		plane := xd[i*area : (i+1)*area]
+		for _, v := range plane {
+			s += v
+		}
+		od[i] = s * inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := l.lastShape[0], l.lastShape[1], l.lastShape[2], l.lastShape[3]
+	dx := tensor.New(n, c, h, w)
+	dd, gd := dx.Data(), grad.Data()
+	area := h * w
+	inv := 1 / float32(area)
+	for i := 0; i < n*c; i++ {
+		g := gd[i] * inv
+		plane := dd[i*area : (i+1)*area]
+		for j := range plane {
+			plane[j] = g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *GlobalAvgPool2D) Params() []*Parameter { return nil }

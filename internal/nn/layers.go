@@ -1,0 +1,303 @@
+package nn
+
+import (
+	"math"
+
+	"pactrain/internal/tensor"
+)
+
+// Linear is a fully connected layer computing y = xW + b for x of shape
+// (N, in) and W of shape (in, out).
+type Linear struct {
+	Weight *Parameter
+	Bias   *Parameter
+
+	lastInput *tensor.Tensor
+}
+
+// NewLinear constructs a Linear layer with Kaiming-initialized weights. The
+// name prefixes the two parameters as name+".weight" / name+".bias".
+func NewLinear(name string, r *tensor.RNG, in, out int) *Linear {
+	return &Linear{
+		Weight: NewParameter(name+".weight", tensor.KaimingInit(r, in, in, out)),
+		Bias:   NewParameter(name+".bias", tensor.New(out)),
+	}
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	l.lastInput = x
+	n := x.Dim(0)
+	out := l.Weight.W.Dim(1)
+	y := tensor.MatMul(x, l.Weight.W)
+	bd := l.Bias.W.Data()
+	yd := y.Data()
+	for i := 0; i < n; i++ {
+		row := yd[i*out : (i+1)*out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := l.lastInput
+	in, out := l.Weight.W.Dim(0), l.Weight.W.Dim(1)
+	n := x.Dim(0)
+
+	dW := tensor.New(in, out)
+	tensor.MatMulTransAInto(dW, x, grad)
+	tensor.AxpyInto(l.Weight.Grad, 1, dW)
+
+	gb := l.Bias.Grad.Data()
+	gd := grad.Data()
+	for i := 0; i < n; i++ {
+		row := gd[i*out : (i+1)*out]
+		for j := range row {
+			gb[j] += row[j]
+		}
+	}
+
+	dx := tensor.New(n, in)
+	tensor.MatMulTransBInto(dx, grad, l.Weight.W)
+	return dx
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Parameter { return []*Parameter{l.Weight, l.Bias} }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	if cap(l.mask) < len(d) {
+		l.mask = make([]bool, len(d))
+	}
+	l.mask = l.mask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		if !l.mask[i] {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Parameter { return nil }
+
+// GELU applies the Gaussian error linear unit using the tanh approximation,
+// the activation used by the ViT models in the paper's workload set.
+type GELU struct {
+	lastInput *tensor.Tensor
+}
+
+// NewGELU returns a GELU activation.
+func NewGELU() *GELU { return &GELU{} }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+// Forward implements Layer.
+func (l *GELU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	l.lastInput = x
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		fv := float64(v)
+		d[i] = float32(0.5 * fv * (1 + math.Tanh(geluC*(fv+0.044715*fv*fv*fv))))
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *GELU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	gd := out.Data()
+	xd := l.lastInput.Data()
+	for i := range gd {
+		x := float64(xd[i])
+		inner := geluC * (x + 0.044715*x*x*x)
+		t := math.Tanh(inner)
+		dInner := geluC * (1 + 3*0.044715*x*x)
+		dgelu := 0.5*(1+t) + 0.5*x*(1-t*t)*dInner
+		gd[i] *= float32(dgelu)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *GELU) Params() []*Parameter { return nil }
+
+// Dropout zeroes a fraction p of activations during training and scales the
+// survivors by 1/(1-p) (inverted dropout). During evaluation it is the
+// identity.
+type Dropout struct {
+	P   float64
+	rng *tensor.RNG
+
+	mask []bool
+}
+
+// NewDropout constructs a dropout layer with its own deterministic RNG
+// stream.
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.P <= 0 {
+		l.mask = nil
+		return x
+	}
+	out := x.Clone()
+	d := out.Data()
+	if cap(l.mask) < len(d) {
+		l.mask = make([]bool, len(d))
+	}
+	l.mask = l.mask[:len(d)]
+	scale := float32(1 / (1 - l.P))
+	for i := range d {
+		if l.rng.Float64() < l.P {
+			l.mask[i] = false
+			d[i] = 0
+		} else {
+			l.mask[i] = true
+			d[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	d := out.Data()
+	scale := float32(1 / (1 - l.P))
+	for i := range d {
+		if l.mask[i] {
+			d[i] *= scale
+		} else {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Parameter { return nil }
+
+// Flatten reshapes (N, ...) to (N, prod(...)). Backward restores the shape.
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	l.lastShape = append(l.lastShape[:0], x.Shape()...)
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.lastShape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Parameter { return nil }
+
+// Residual computes y = body(x) + shortcut(x) followed by ReLU, the building
+// block of the ResNet-shaped models. If shortcut is nil the identity is
+// used, which requires body to preserve shape.
+type Residual struct {
+	Body     Layer
+	Shortcut Layer
+
+	reluMask []bool
+}
+
+// NewResidual builds a residual block.
+func NewResidual(body, shortcut Layer) *Residual {
+	return &Residual{Body: body, Shortcut: shortcut}
+}
+
+// Forward implements Layer.
+func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := l.Body.Forward(x, train)
+	skip := x
+	if l.Shortcut != nil {
+		skip = l.Shortcut.Forward(x, train)
+	}
+	out := tensor.Add(main, skip)
+	d := out.Data()
+	if cap(l.reluMask) < len(d) {
+		l.reluMask = make([]bool, len(d))
+	}
+	l.reluMask = l.reluMask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			l.reluMask[i] = true
+		} else {
+			l.reluMask[i] = false
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	d := g.Data()
+	for i := range d {
+		if !l.reluMask[i] {
+			d[i] = 0
+		}
+	}
+	dMain := l.Body.Backward(g)
+	dSkip := g
+	if l.Shortcut != nil {
+		dSkip = l.Shortcut.Backward(g)
+	}
+	return tensor.Add(dMain, dSkip)
+}
+
+// Params implements Layer.
+func (l *Residual) Params() []*Parameter {
+	ps := l.Body.Params()
+	if l.Shortcut != nil {
+		ps = append(ps, l.Shortcut.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"math"
+
+	"pactrain/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits of
+// shape (N, K) against integer class labels, returning the loss and the
+// gradient with respect to the logits (already divided by N, ready to feed
+// into Model.Backward).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: label count does not match batch size")
+	}
+	grad := tensor.New(n, k)
+	ld, gd := logits.Data(), grad.Data()
+	var loss float64
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := ld[i*k : (i+1)*k]
+		grow := gd[i*k : (i+1)*k]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			grow[j] = float32(e)
+			sum += e
+		}
+		label := labels[i]
+		if label < 0 || label >= k {
+			panic("nn: label out of range")
+		}
+		p := float64(grow[label]) / sum
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		invSum := float32(1 / sum)
+		for j := range grow {
+			grow[j] *= invSum
+		}
+		grow[label] -= 1
+		for j := range grow {
+			grow[j] *= float32(invN)
+		}
+	}
+	return loss * invN, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Dim(0), logits.Dim(1)
+	ld := logits.Data()
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := ld[i*k : (i+1)*k]
+		arg := 0
+		best := row[0]
+		for j, v := range row {
+			if v > best {
+				best, arg = v, j
+			}
+		}
+		if arg == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

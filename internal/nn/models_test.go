@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"pactrain/internal/tensor"
+)
+
+func TestModelZooBuilds(t *testing.T) {
+	cfg := DefaultLiteConfig(10, 1)
+	for _, name := range []string{"VGG19", "ResNet18", "ResNet152", "ViT-Base-16", "MLP"} {
+		m, err := NewLiteByName(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.NumParameters() == 0 {
+			t.Fatalf("%s has no parameters", name)
+		}
+		x := tensor.Randn(tensor.NewRNG(3), 1, 2, 3, 16, 16)
+		out := m.Forward(x, true)
+		if out.Dim(0) != 2 || out.Dim(1) != 10 {
+			t.Fatalf("%s: output shape %v, want (2,10)", name, out.Shape())
+		}
+		loss, grad := SoftmaxCrossEntropy(out, []int{1, 2})
+		if loss <= 0 {
+			t.Fatalf("%s: non-positive initial loss %v", name, loss)
+		}
+		m.ZeroGrad()
+		m.Backward(grad)
+		nonZero := 0
+		for _, p := range m.Params() {
+			if p.Grad.CountNonZero() > 0 {
+				nonZero++
+			}
+		}
+		if nonZero < len(m.Params())/2 {
+			t.Fatalf("%s: only %d/%d params received gradient", name, nonZero, len(m.Params()))
+		}
+	}
+}
+
+func TestResNet152DeeperThanResNet18(t *testing.T) {
+	cfg := DefaultLiteConfig(10, 1)
+	r18 := NewResNet18Lite(cfg)
+	r152 := NewResNet152Lite(cfg)
+	if r152.NumParameters() <= r18.NumParameters() {
+		t.Fatalf("ResNet152 twin (%d params) should exceed ResNet18 twin (%d)",
+			r152.NumParameters(), r18.NumParameters())
+	}
+}
+
+func TestSameSeedGivesIdenticalReplicas(t *testing.T) {
+	cfg := DefaultLiteConfig(10, 42)
+	a := NewVGGLite(cfg)
+	b := NewVGGLite(cfg)
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatal("replica param counts differ")
+	}
+	for i := range pa {
+		if pa[i].Name != pb[i].Name {
+			t.Fatalf("param %d name mismatch %q vs %q", i, pa[i].Name, pb[i].Name)
+		}
+		for j := range pa[i].W.Data() {
+			if pa[i].W.Data()[j] != pb[i].W.Data()[j] {
+				t.Fatalf("param %s differs at %d", pa[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestParameterNamesUnique(t *testing.T) {
+	cfg := DefaultLiteConfig(10, 7)
+	for _, name := range []string{"VGG19", "ResNet18", "ResNet152", "ViT-Base-16"} {
+		m, err := NewLiteByName(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, p := range m.Params() {
+			if seen[p.Name] {
+				t.Fatalf("%s: duplicate parameter name %s", name, p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+}
+
+func TestCopyWeightsFrom(t *testing.T) {
+	cfg := DefaultLiteConfig(10, 1)
+	a := NewMLP(cfg, 16)
+	cfg2 := cfg
+	cfg2.Seed = 2
+	b := NewMLP(cfg2, 16)
+	b.CopyWeightsFrom(a)
+	for i := range a.Params() {
+		for j := range a.Params()[i].W.Data() {
+			if a.Params()[i].W.Data()[j] != b.Params()[i].W.Data()[j] {
+				t.Fatal("CopyWeightsFrom did not copy")
+			}
+		}
+	}
+}
+
+// TestMLPLearnsSeparableTask verifies the full train loop machinery: an MLP
+// must fit a linearly separable 2-class problem nearly perfectly.
+func TestMLPLearnsSeparableTask(t *testing.T) {
+	cfg := LiteConfig{InChannels: 1, ImageSize: 4, Classes: 2, Width: 8, Seed: 5}
+	m := NewMLP(cfg, 32)
+	opt := NewSGD(0.1, 0.9, 0)
+	r := tensor.NewRNG(11)
+
+	// Class 0: mean -1 in first half; class 1: mean +1.
+	makeBatch := func(n int) (*tensor.Tensor, []int) {
+		x := tensor.New(n, 1, 4, 4)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			cls := r.Intn(2)
+			labels[i] = cls
+			mean := float32(-1)
+			if cls == 1 {
+				mean = 1
+			}
+			for j := 0; j < 16; j++ {
+				x.Data()[i*16+j] = mean + float32(r.NormFloat64()*0.3)
+			}
+		}
+		return x, labels
+	}
+
+	var lastAcc float64
+	for step := 0; step < 60; step++ {
+		x, labels := makeBatch(16)
+		out := m.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(out, labels)
+		m.ZeroGrad()
+		m.Backward(grad)
+		opt.Step(m.Params())
+		lastAcc = Accuracy(out, labels)
+	}
+	if lastAcc < 0.95 {
+		t.Fatalf("MLP failed to fit separable task: acc %v", lastAcc)
+	}
+}
+
+func TestSGDMomentumMatchesManualUpdate(t *testing.T) {
+	p := NewParameter("w", tensor.FromSlice([]float32{1}, 1))
+	opt := NewSGD(0.1, 0.9, 0)
+	// Two steps with constant gradient 1.
+	p.Grad.Data()[0] = 1
+	opt.Step([]*Parameter{p})
+	// v1 = 1; w = 1 - 0.1 = 0.9
+	if w := p.W.Data()[0]; !almost(w, 0.9) {
+		t.Fatalf("step1 w = %v", w)
+	}
+	p.Grad.Data()[0] = 1
+	opt.Step([]*Parameter{p})
+	// v2 = 0.9 + 1 = 1.9; w = 0.9 - 0.19 = 0.71
+	if w := p.W.Data()[0]; !almost(w, 0.71) {
+		t.Fatalf("step2 w = %v", w)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := NewParameter("w", tensor.FromSlice([]float32{2}, 1))
+	opt := NewSGD(0.5, 0, 0.1)
+	opt.Step([]*Parameter{p}) // grad = 0 + 0.1*2 = 0.2; w = 2 - 0.1 = 1.9
+	if w := p.W.Data()[0]; !almost(w, 1.9) {
+		t.Fatalf("w = %v", w)
+	}
+}
+
+func almost(a, b float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-5
+}
+
+func TestCosineLRBoundaries(t *testing.T) {
+	if lr := CosineLR(1.0, 0.1, 0, 10); !almost(float32(lr), 1.0) {
+		t.Fatalf("start lr = %v", lr)
+	}
+	if lr := CosineLR(1.0, 0.1, 9, 10); !almost(float32(lr), 0.1) {
+		t.Fatalf("end lr = %v", lr)
+	}
+	mid := CosineLR(1.0, 0.1, 5, 11)
+	if mid > 1.0 || mid < 0.1 {
+		t.Fatalf("mid lr out of range: %v", mid)
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	got := StepLR(1.0, 15, []int{10, 20}, 0.1)
+	if !almost(float32(got), 0.1) {
+		t.Fatalf("lr = %v", got)
+	}
+	got = StepLR(1.0, 25, []int{10, 20}, 0.1)
+	if !almost(float32(got), 0.01) {
+		t.Fatalf("lr = %v", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		2, 1, 0,
+		0, 3, 1,
+		1, 0, 5,
+	}, 3, 3)
+	if acc := Accuracy(logits, []int{0, 1, 2}); acc != 1 {
+		t.Fatalf("acc = %v", acc)
+	}
+	if acc := Accuracy(logits, []int{1, 1, 2}); acc < 0.66 || acc > 0.67 {
+		t.Fatalf("acc = %v", acc)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, err := ProfileByName(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Params != p.Params {
+			t.Fatalf("%s params mismatch", p.Name)
+		}
+		if got.GradBytes() != got.Params*4 {
+			t.Fatal("GradBytes must be 4 bytes/param")
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+	if !strings.Contains(ProfileVGG19.Name, "VGG") {
+		t.Fatal("profile naming broken")
+	}
+}
+
+func TestProfileOrderingMatchesPaperSizes(t *testing.T) {
+	// The paper's communication volumes: VGG19 > ViT-B/16 > ResNet152 > ResNet18.
+	if !(ProfileVGG19.Params > ProfileViTBase16.Params &&
+		ProfileViTBase16.Params > ProfileResNet152.Params &&
+		ProfileResNet152.Params > ProfileResNet18.Params) {
+		t.Fatal("profile parameter ordering wrong")
+	}
+}

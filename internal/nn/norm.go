@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"math"
+
+	"pactrain/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of a (N, C, H, W) tensor over the
+// batch and spatial dimensions, with learnable per-channel scale (gamma) and
+// shift (beta). Running statistics are tracked for evaluation mode.
+type BatchNorm2D struct {
+	Gamma *Parameter
+	Beta  *Parameter
+
+	Eps      float64
+	Momentum float64
+
+	runningMean []float64
+	runningVar  []float64
+
+	// Caches for backward.
+	lastXHat   *tensor.Tensor
+	lastInvStd []float64
+	lastShape  []int
+}
+
+// NewBatchNorm2D constructs a batch-norm layer for c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		Gamma:       NewParameter(name+".weight", tensor.Ones(c)),
+		Beta:        NewParameter(name+".bias", tensor.New(c)),
+		Eps:         1e-5,
+		Momentum:    0.1,
+		runningMean: make([]float64, c),
+		runningVar:  make([]float64, c),
+	}
+	for i := range bn.runningVar {
+		bn.runningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	l.lastShape = append(l.lastShape[:0], x.Shape()...)
+	area := h * w
+	cnt := float64(n * area)
+	out := tensor.New(n, c, h, w)
+	xhat := tensor.New(n, c, h, w)
+	if cap(l.lastInvStd) < c {
+		l.lastInvStd = make([]float64, c)
+	}
+	l.lastInvStd = l.lastInvStd[:c]
+	xd, od, hd := x.Data(), out.Data(), xhat.Data()
+	gd, bd := l.Gamma.W.Data(), l.Beta.W.Data()
+
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			var s, sq float64
+			for img := 0; img < n; img++ {
+				plane := xd[(img*c+ch)*area : (img*c+ch+1)*area]
+				for _, v := range plane {
+					fv := float64(v)
+					s += fv
+					sq += fv * fv
+				}
+			}
+			mean = s / cnt
+			variance = sq/cnt - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			l.runningMean[ch] = (1-l.Momentum)*l.runningMean[ch] + l.Momentum*mean
+			l.runningVar[ch] = (1-l.Momentum)*l.runningVar[ch] + l.Momentum*variance
+		} else {
+			mean = l.runningMean[ch]
+			variance = l.runningVar[ch]
+		}
+		invStd := 1 / math.Sqrt(variance+l.Eps)
+		l.lastInvStd[ch] = invStd
+		g, b := gd[ch], bd[ch]
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * area
+			for i := 0; i < area; i++ {
+				xh := float32((float64(xd[off+i]) - mean) * invStd)
+				hd[off+i] = xh
+				od[off+i] = g*xh + b
+			}
+		}
+	}
+	l.lastXHat = xhat
+	return out
+}
+
+// Backward implements Layer. Uses the standard batch-norm gradient:
+//
+//	dx = (γ·invStd/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
+func (l *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c := l.lastShape[0], l.lastShape[1]
+	area := l.lastShape[2] * l.lastShape[3]
+	m := float64(n * area)
+	dx := tensor.New(l.lastShape...)
+	gd := grad.Data()
+	hd := l.lastXHat.Data()
+	dd := dx.Data()
+	gg, gb := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
+	gw := l.Gamma.W.Data()
+
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * area
+			for i := 0; i < area; i++ {
+				dy := float64(gd[off+i])
+				sumDy += dy
+				sumDyXhat += dy * float64(hd[off+i])
+			}
+		}
+		gg[ch] += float32(sumDyXhat)
+		gb[ch] += float32(sumDy)
+		scale := float64(gw[ch]) * l.lastInvStd[ch] / m
+		for img := 0; img < n; img++ {
+			off := (img*c + ch) * area
+			for i := 0; i < area; i++ {
+				dy := float64(gd[off+i])
+				xh := float64(hd[off+i])
+				dd[off+i] = float32(scale * (m*dy - sumDy - xh*sumDyXhat))
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *BatchNorm2D) Params() []*Parameter { return []*Parameter{l.Gamma, l.Beta} }
+
+// LayerNorm normalizes over the last dimension of a (..., D) tensor with
+// learnable scale and shift, as used in transformer blocks.
+type LayerNorm struct {
+	Gamma *Parameter
+	Beta  *Parameter
+	Eps   float64
+
+	lastXHat   *tensor.Tensor
+	lastInvStd []float64
+	lastShape  []int
+}
+
+// NewLayerNorm constructs a layer norm over dimension d.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	return &LayerNorm{
+		Gamma: NewParameter(name+".weight", tensor.Ones(d)),
+		Beta:  NewParameter(name+".bias", tensor.New(d)),
+		Eps:   1e-5,
+	}
+}
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	d := x.Dim(x.Rank() - 1)
+	rows := x.Len() / d
+	l.lastShape = append(l.lastShape[:0], x.Shape()...)
+	out := tensor.New(x.Shape()...)
+	xhat := tensor.New(x.Shape()...)
+	if cap(l.lastInvStd) < rows {
+		l.lastInvStd = make([]float64, rows)
+	}
+	l.lastInvStd = l.lastInvStd[:rows]
+	xd, od, hd := x.Data(), out.Data(), xhat.Data()
+	gd, bd := l.Gamma.W.Data(), l.Beta.W.Data()
+	for r := 0; r < rows; r++ {
+		row := xd[r*d : (r+1)*d]
+		var s, sq float64
+		for _, v := range row {
+			fv := float64(v)
+			s += fv
+			sq += fv * fv
+		}
+		mean := s / float64(d)
+		variance := sq/float64(d) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		invStd := 1 / math.Sqrt(variance+l.Eps)
+		l.lastInvStd[r] = invStd
+		for i, v := range row {
+			xh := float32((float64(v) - mean) * invStd)
+			hd[r*d+i] = xh
+			od[r*d+i] = gd[i]*xh + bd[i]
+		}
+	}
+	l.lastXHat = xhat
+	return out
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	d := l.lastShape[len(l.lastShape)-1]
+	rows := 1
+	for _, s := range l.lastShape[:len(l.lastShape)-1] {
+		rows *= s
+	}
+	dx := tensor.New(l.lastShape...)
+	gd := grad.Data()
+	hd := l.lastXHat.Data()
+	dd := dx.Data()
+	gg, gb := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
+	gw := l.Gamma.W.Data()
+	df := float64(d)
+	for r := 0; r < rows; r++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < d; i++ {
+			dy := float64(gd[r*d+i]) * float64(gw[i])
+			sumDy += dy
+			sumDyXhat += dy * float64(hd[r*d+i])
+		}
+		for i := 0; i < d; i++ {
+			dy := float64(gd[r*d+i])
+			gg[i] += float32(dy * float64(hd[r*d+i]))
+			gb[i] += float32(dy)
+			dyg := dy * float64(gw[i])
+			xh := float64(hd[r*d+i])
+			dd[r*d+i] = float32(l.lastInvStd[r] / df * (df*dyg - sumDy - xh*sumDyXhat))
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Parameter { return []*Parameter{l.Gamma, l.Beta} }

@@ -1,0 +1,153 @@
+// Package nn implements the neural-network substrate of the PacTrain
+// reproduction: layers with analytic forward/backward passes, losses, the
+// SGD optimizer, and the model zoo (VGG-lite, ResNet-lite, ViT-lite plus the
+// communication profiles of the paper's full-size models).
+//
+// The design mirrors the parts of PyTorch that PacTrain interacts with:
+// parameters carry stable registration names and a registration order, which
+// the DDP layer in internal/ddp uses to build reverse-order gradient buckets
+// — the exact abstraction whose opacity motivates the paper's Mask Tracker.
+package nn
+
+import (
+	"fmt"
+
+	"pactrain/internal/tensor"
+)
+
+// Parameter is a trainable tensor with its gradient accumulator. Name is
+// stable across replicas built from the same seed, so distributed workers
+// can refer to parameters consistently.
+type Parameter struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParameter wraps a weight tensor in a Parameter with a zeroed gradient.
+func NewParameter(name string, w *tensor.Tensor) *Parameter {
+	return &Parameter{Name: name, W: w, Grad: tensor.New(w.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Parameter) ZeroGrad() { p.Grad.Zero() }
+
+// NumElements returns the number of scalar weights in the parameter.
+func (p *Parameter) NumElements() int { return p.W.Len() }
+
+// Layer is the building block of models. Forward caches whatever it needs so
+// that a subsequent Backward can produce exact analytic gradients; Backward
+// accumulates parameter gradients and returns the gradient with respect to
+// the layer input. A layer is used by exactly one goroutine (its worker), so
+// no internal locking is needed.
+type Layer interface {
+	// Forward computes the layer output. train selects training behaviour
+	// (dropout active, batch-norm batch statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input), accumulating
+	// dL/d(param) into each parameter's Grad.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters in registration
+	// order; layers without parameters return nil.
+	Params() []*Parameter
+}
+
+// Sequential chains layers, feeding each output into the next layer.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Parameter {
+	var ps []*Parameter
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Model is a named network with a parameter registry. Parameters are listed
+// in registration (construction) order, matching the order a framework like
+// PyTorch would register them in, which in turn defines DDP bucket layout.
+type Model struct {
+	Name string
+	Root Layer
+
+	params []*Parameter
+}
+
+// NewModel wraps a root layer. Parameter names must already be assigned.
+func NewModel(name string, root Layer) *Model {
+	m := &Model{Name: name, Root: root, params: root.Params()}
+	seen := make(map[string]bool, len(m.params))
+	for _, p := range m.params {
+		if p.Name == "" {
+			panic("nn: parameter registered without a name")
+		}
+		if seen[p.Name] {
+			panic(fmt.Sprintf("nn: duplicate parameter name %q", p.Name))
+		}
+		seen[p.Name] = true
+	}
+	return m
+}
+
+// Forward runs the network.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.Root.Forward(x, train)
+}
+
+// Backward back-propagates from the loss gradient.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return m.Root.Backward(grad)
+}
+
+// Params returns all parameters in registration order.
+func (m *Model) Params() []*Parameter { return m.params }
+
+// ZeroGrad clears every parameter gradient.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.params {
+		p.ZeroGrad()
+	}
+}
+
+// NumParameters returns the total scalar parameter count.
+func (m *Model) NumParameters() int {
+	n := 0
+	for _, p := range m.params {
+		n += p.NumElements()
+	}
+	return n
+}
+
+// CopyWeightsFrom copies all weights from src (matched by position). It
+// panics if the models have different parameter layouts. Workers use this to
+// start from identical replicas.
+func (m *Model) CopyWeightsFrom(src *Model) {
+	if len(m.params) != len(src.params) {
+		panic("nn: CopyWeightsFrom parameter count mismatch")
+	}
+	for i, p := range m.params {
+		p.W.CopyFrom(src.params[i].W)
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"pactrain/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay, matching the optimizer used for the paper's CIFAR
+// training runs.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[string]*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[string]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter using its accumulated gradient.
+// Gradients are not cleared; call Model.ZeroGrad before the next backward.
+func (s *SGD) Step(params []*Parameter) {
+	lr := float32(s.LR)
+	mom := float32(s.Momentum)
+	wd := float32(s.WeightDecay)
+	for _, p := range params {
+		g := p.Grad.Data()
+		w := p.W.Data()
+		if wd != 0 {
+			for i := range g {
+				g[i] += wd * w[i]
+			}
+		}
+		if mom != 0 {
+			v := s.velocity[p.Name]
+			if v == nil {
+				v = tensor.New(p.W.Shape()...)
+				s.velocity[p.Name] = v
+			}
+			vd := v.Data()
+			for i := range vd {
+				vd[i] = mom*vd[i] + g[i]
+				w[i] -= lr * vd[i]
+			}
+		} else {
+			for i := range w {
+				w[i] -= lr * g[i]
+			}
+		}
+	}
+}
+
+// Velocity returns the momentum buffer for a parameter name, or nil. The
+// pruning layer uses it to zero stale momentum on masked coordinates.
+func (s *SGD) Velocity(name string) *tensor.Tensor { return s.velocity[name] }
+
+// CosineLR returns the cosine-annealed learning rate for the given epoch out
+// of total epochs, decaying from base to floor.
+func CosineLR(base, floor float64, epoch, total int) float64 {
+	if total <= 1 {
+		return base
+	}
+	t := float64(epoch) / float64(total-1)
+	if t > 1 {
+		t = 1
+	}
+	return floor + 0.5*(base-floor)*(1+math.Cos(math.Pi*t))
+}
+
+// StepLR returns base decayed by gamma at each milestone epoch.
+func StepLR(base float64, epoch int, milestones []int, gamma float64) float64 {
+	lr := base
+	for _, m := range milestones {
+		if epoch >= m {
+			lr *= gamma
+		}
+	}
+	return lr
+}

@@ -1,0 +1,97 @@
+package tensor
+
+// Im2Col lowers a batched image tensor into a matrix so that convolution
+// becomes a single matrix multiplication, the standard approach used by
+// CPU/GPU deep-learning kernels.
+//
+// Input x has shape (N, C, H, W). The result has shape
+// (N*outH*outW, C*kh*kw): each row is the receptive field of one output
+// position. Zero padding of size pad is applied on both spatial axes, and
+// the kernel slides with the given stride.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := New(n*outH*outW, c*kh*kw)
+	xd, cd := x.data, cols.data
+	rowLen := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((img*outH+oy)*outW + ox) * rowLen
+				iy0 := oy*stride - pad
+				ix0 := ox*stride - pad
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					colBase := row + ch*kh*kw
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue // row stays zero (padding)
+						}
+						srcRow := chBase + iy*w
+						dstRow := colBase + ky*kw
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							cd[dstRow+kx] = xd[srcRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) a column matrix
+// of shape (N*outH*outW, C*kh*kw) back into an image tensor of shape
+// (N, C, H, W). Overlapping receptive fields sum, which is exactly the
+// gradient of Im2Col, so Conv2D backward can reuse it directly.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	img := New(n, c, h, w)
+	cd, xd := cols.data, img.data
+	rowLen := c * kh * kw
+	for im := 0; im < n; im++ {
+		base := im * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((im*outH+oy)*outW + ox) * rowLen
+				iy0 := oy*stride - pad
+				ix0 := ox*stride - pad
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					colBase := row + ch*kh*kw
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						dstRow := chBase + iy*w
+						srcRow := colBase + ky*kw
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							xd[dstRow+ix] += cd[srcRow+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window of size k with the given stride and padding over an input of size
+// in.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

@@ -1,0 +1,485 @@
+// Package tensor implements the dense float32 tensor substrate used by the
+// PacTrain reproduction: shape/stride bookkeeping, elementwise kernels,
+// matrix multiplication, im2col-based convolution support, reductions, and a
+// deterministic random number generator so every experiment is replayable
+// bit-for-bit.
+//
+// The package is intentionally minimal but complete: it contains exactly the
+// operations the neural-network layers in internal/nn need for analytic
+// forward and backward passes, with no hidden global state. All tensors own
+// their backing storage; views are explicit.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense, row-major float32 tensor. The zero value is not usable;
+// construct tensors with New, Zeros, Full, FromSlice, or the RNG helpers.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if any
+// dimension is negative; a tensor with zero dimensions is a scalar holding
+// one element.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// Zeros is an alias for New, provided for readability at call sites that
+// emphasize the initial value.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); the caller must not retain it. It panics if the
+// length does not match the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice length %d does not match shape %v (volume %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing storage. Mutating it mutates the tensor; this is
+// the intended mechanism for kernels and for the communication layer, which
+// flattens gradients into buckets.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.Offset(idx...)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.Offset(idx...)] = v }
+
+// Offset converts a multi-index into a flat offset, panicking on
+// out-of-range indices.
+func (t *Tensor) Offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: append([]int(nil), t.shape...), data: make([]float32, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's elements into t. Shapes must have equal volume.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom volume mismatch %d vs %d", len(t.data), len(src.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// Reshape returns a view with a new shape sharing the same storage. The new
+// shape must have the same volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.data), shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Zero sets every element to zero in place.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape plus leading values) for
+// debugging; it never prints more than eight elements.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	n := len(t.data)
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.data[i])
+	}
+	if n > show {
+		fmt.Fprintf(&b, " … +%d", n-show)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// --- Elementwise operations -------------------------------------------------
+
+// AddInto computes dst = a + b elementwise. All three must share volume.
+func AddInto(dst, a, b *Tensor) {
+	checkSameLen3(dst, a, b)
+	d, x, y := dst.data, a.data, b.data
+	for i := range d {
+		d[i] = x[i] + y[i]
+	}
+}
+
+// SubInto computes dst = a - b elementwise.
+func SubInto(dst, a, b *Tensor) {
+	checkSameLen3(dst, a, b)
+	d, x, y := dst.data, a.data, b.data
+	for i := range d {
+		d[i] = x[i] - y[i]
+	}
+}
+
+// MulInto computes dst = a ⊙ b elementwise.
+func MulInto(dst, a, b *Tensor) {
+	checkSameLen3(dst, a, b)
+	d, x, y := dst.data, a.data, b.data
+	for i := range d {
+		d[i] = x[i] * y[i]
+	}
+}
+
+// Add returns a + b as a new tensor shaped like a.
+func Add(a, b *Tensor) *Tensor {
+	out := New(a.shape...)
+	AddInto(out, a, b)
+	return out
+}
+
+// Sub returns a - b as a new tensor shaped like a.
+func Sub(a, b *Tensor) *Tensor {
+	out := New(a.shape...)
+	SubInto(out, a, b)
+	return out
+}
+
+// Mul returns a ⊙ b as a new tensor shaped like a.
+func Mul(a, b *Tensor) *Tensor {
+	out := New(a.shape...)
+	MulInto(out, a, b)
+	return out
+}
+
+// AxpyInto computes dst += alpha * src.
+func AxpyInto(dst *Tensor, alpha float32, src *Tensor) {
+	if len(dst.data) != len(src.data) {
+		panic("tensor: Axpy volume mismatch")
+	}
+	d, s := dst.data, src.data
+	for i := range d {
+		d[i] += alpha * s[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of t by alpha.
+func (t *Tensor) ScaleInPlace(alpha float32) {
+	for i := range t.data {
+		t.data[i] *= alpha
+	}
+}
+
+// Apply replaces each element x with f(x) in place.
+func (t *Tensor) Apply(f func(float32) float32) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+func checkSameLen3(a, b, c *Tensor) {
+	if len(a.data) != len(b.data) || len(b.data) != len(c.data) {
+		panic(fmt.Sprintf("tensor: elementwise volume mismatch %d/%d/%d", len(a.data), len(b.data), len(c.data)))
+	}
+}
+
+// --- Reductions ---------------------------------------------------------
+
+// Sum returns the sum of all elements in float64 for accuracy.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element and its flat index. It panics on an empty
+// tensor.
+func (t *Tensor) Max() (float32, int) {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	best, arg := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// Min returns the minimum element and its flat index.
+func (t *Tensor) Min() (float32, int) {
+	if len(t.data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	best, arg := t.data[0], 0
+	for i, v := range t.data {
+		if v < best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// AbsMax returns max(|x|) over all elements, 0 for an empty tensor.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean (L2) norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of the flattened tensor.
+func (t *Tensor) Norm1() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// CountNonZero returns the number of elements that are exactly non-zero.
+func (t *Tensor) CountNonZero() int {
+	n := 0
+	for _, v := range t.data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of elements that are exactly zero, in [0,1].
+func (t *Tensor) Sparsity() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return 1 - float64(t.CountNonZero())/float64(len(t.data))
+}
+
+// Dot returns the inner product of the flattened tensors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic("tensor: Dot volume mismatch")
+	}
+	var s float64
+	for i := range a.data {
+		s += float64(a.data[i]) * float64(b.data[i])
+	}
+	return s
+}
+
+// --- Linear algebra -------------------------------------------------------
+
+// MatMul computes C = A × B for A of shape (m,k) and B of shape (k,n),
+// returning a new (m,n) tensor. The kernel is blocked over the inner
+// dimension with the j-loop innermost so it vectorizes well.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch (%d,%d)×(%d,%d)", m, k, k2, n))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = A × B, accumulating into a zeroed dst. dst must
+// have shape (m,n).
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	dst.Zero()
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := 0; i < m; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ad[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := bd[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = Aᵀ × B for A of shape (k,m) and B of shape
+// (k,n); dst must be (m,n). Used by Linear backward for weight gradients.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulTransAInto shape mismatch")
+	}
+	dst.Zero()
+	ad, bd, cd := a.data, b.data, dst.data
+	for p := 0; p < k; p++ {
+		ap := ad[p*m : (p+1)*m]
+		bp := bd[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := cd[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes dst = A × Bᵀ for A of shape (m,k) and B of shape
+// (n,k); dst must be (m,n). Used by Linear backward for input gradients.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulTransBInto shape mismatch")
+	}
+	dst.Zero()
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		ci := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+}
+
+// Transpose returns a new tensor that is the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package pactrain is the public API of the PacTrain reproduction: a
+// communication-efficient distributed-training framework combining
+// unstructured pruning, Gradient Sparsity Enforcement, a Mask Tracker that
+// recovers sparsity patterns from opaque DDP gradient buckets, and adaptive
+// mask-compact gradient compression that remains compatible with ring
+// all-reduce (Wang, Wu, Li, Kutscher — DAC 2025, arXiv:2505.18563).
+//
+// The package fronts the internal implementation:
+//
+//   - Train runs one distributed training job over a simulated
+//     bandwidth-constrained fabric with any of the paper's aggregation
+//     schemes (all-reduce, fp16, topk, DGC, TernGrad, QSGD, THC, parameter
+//     server, OmniReduce-style, Zen-style, pactrain, pactrain-ternary).
+//   - Experiment regenerates any table or figure of the paper's evaluation.
+//   - NewCompressor, topology constructors, and the workload presets expose
+//     the building blocks for custom studies.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package pactrain
+
+import (
+	"fmt"
+
+	"pactrain/internal/compress"
+	"pactrain/internal/core"
+	"pactrain/internal/data"
+	"pactrain/internal/ddp"
+	"pactrain/internal/harness"
+	"pactrain/internal/netsim"
+	"pactrain/internal/nn"
+	"pactrain/internal/prune"
+)
+
+// Re-exported core types. Config describes a distributed training run;
+// Result is its outcome (accuracy curve, TTA, communication statistics,
+// per-iteration comm log).
+type (
+	// Config configures a training run; construct with DefaultConfig.
+	Config = core.Config
+	// Result is a completed run's summary.
+	Result = core.Result
+	// Workload couples a paper model with its calibrated recipe.
+	Workload = harness.Workload
+	// Options configures experiment harness runs.
+	Options = harness.Options
+	// Topology is a simulated network graph.
+	Topology = netsim.Topology
+	// DatasetConfig configures synthetic dataset generation.
+	DatasetConfig = data.Config
+	// CommProfile is a full-size model's communication profile.
+	CommProfile = nn.CommProfile
+)
+
+// Bandwidth helpers (bits per second).
+const (
+	Mbps = netsim.Mbps
+	Gbps = netsim.Gbps
+)
+
+// Pruning method selectors.
+const (
+	GlobalMagnitude = prune.GlobalMagnitude
+	LayerMagnitude  = prune.LayerMagnitude
+	GraSP           = prune.GraSP
+)
+
+// DefaultConfig returns a ready-to-run configuration for a paper workload
+// ("VGG19", "ResNet18", "ResNet152", "ViT-Base-16", or "MLP") and scheme.
+func DefaultConfig(model, scheme string) Config {
+	return core.DefaultConfig(model, scheme)
+}
+
+// Train executes a distributed training run and returns its result.
+func Train(cfg Config) (*Result, error) {
+	return core.Run(cfg)
+}
+
+// Schemes lists every aggregation scheme Train accepts.
+func Schemes() []string {
+	return []string{
+		"all-reduce", "fp16", "terngrad", "qsgd", "thc", "ps",
+		"topk-0.1", "topk-0.01", "randomk-0.1", "dgc-0.1", "dgc-0.01",
+		"omnireduce", "zen", "pactrain", "pactrain-ternary",
+	}
+}
+
+// NewCompressor constructs a gradient compressor by figure name (e.g.
+// "fp16", "topk-0.01", "terngrad"); see internal/compress for the suite.
+func NewCompressor(name string, seed uint64) (compress.Compressor, error) {
+	return compress.ByName(name, seed)
+}
+
+// Fig4Topology builds the paper's evaluation network (Fig. 4): eight GPU
+// servers across three chained virtual switches whose two inter-switch
+// links run at the given bottleneck speed.
+func Fig4Topology(bottleneckBps float64) *Topology {
+	return netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: bottleneckBps})
+}
+
+// FlatTopology builds n hosts on one switch at uniform link speed.
+func FlatTopology(n int, bandwidthBps float64) *Topology {
+	return netsim.FlatTopology(n, bandwidthBps, 1e-4)
+}
+
+// PaperWorkloads returns the four evaluation models with calibrated
+// recipes and per-model target accuracies.
+func PaperWorkloads() []Workload { return harness.PaperWorkloads() }
+
+// Profiles returns the communication profiles of the paper's full-size
+// models.
+func Profiles() []CommProfile { return nn.Profiles() }
+
+// A40ComputeModel returns the default simulated device model for a
+// per-sample FLOP count.
+func A40ComputeModel(flopsPerSample int64) ddp.ComputeModel {
+	return ddp.A40ComputeModel(flopsPerSample)
+}
+
+// IterationWireBytes returns, for every recorded training iteration, the
+// payload bytes one worker put on the wire — the quantity PacTrain's
+// adaptive compression shrinks once the Mask Tracker stabilizes. It
+// returns nil when the run was not recorded (Config.RecordComm false).
+func IterationWireBytes(res *Result) []float64 {
+	if res.CommLog == nil {
+		return nil
+	}
+	world := len(res.WeightChecksums)
+	out := make([]float64, len(res.CommLog.Iters))
+	for i, ops := range res.CommLog.Iters {
+		out[i] = core.WireBytesPerWorker(ops, world)
+	}
+	return out
+}
+
+// Report is a rendered experiment result.
+type Report interface {
+	Render() string
+}
+
+// ExperimentIDs lists the identifiers Experiment accepts, one per paper
+// artifact plus the ablations (see DESIGN.md §3).
+func ExperimentIDs() []string {
+	return []string{"table1", "fig3", "fig5", "fig6", "ablation-mt", "ablation-tern", "ablation-topo", "ablation-varbw"}
+}
+
+// Experiment regenerates a paper table/figure (or ablation) by id and
+// returns its report.
+func Experiment(id string, opt Options) (Report, error) {
+	switch id {
+	case "table1":
+		return harness.RunTable1(opt)
+	case "fig3":
+		return harness.RunFig3(opt)
+	case "fig5":
+		return harness.RunFig5(opt)
+	case "fig6":
+		return harness.RunFig6(opt)
+	case "ablation-mt":
+		return harness.RunAblationMT(opt)
+	case "ablation-tern":
+		return harness.RunAblationTernary(opt)
+	case "ablation-topo":
+		return harness.RunAblationTopo(opt)
+	case "ablation-varbw":
+		return harness.RunAblationVarBW(opt)
+	}
+	return nil, fmt.Errorf("pactrain: unknown experiment %q (have %v)", id, ExperimentIDs())
+}

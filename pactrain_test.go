@@ -1,0 +1,101 @@
+package pactrain
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeTrain(t *testing.T) {
+	cfg := DefaultConfig("MLP", "pactrain-ternary")
+	cfg.World = 4
+	cfg.Epochs = 3
+	cfg.Data.Samples = 256
+	cfg.BottleneckBps = 500 * Mbps
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 || res.FinalAcc <= 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	wire := IterationWireBytes(res)
+	if len(wire) != res.Iterations {
+		t.Fatalf("wire bytes for %d iters, want %d", len(wire), res.Iterations)
+	}
+	// Compression must be visible: last-iteration bytes well below first.
+	if wire[len(wire)-1] >= wire[0]/2 {
+		t.Fatalf("no compression visible: first %v last %v", wire[0], wire[len(wire)-1])
+	}
+}
+
+func TestFacadeSchemesAllRunnable(t *testing.T) {
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			cfg := DefaultConfig("MLP", scheme)
+			cfg.World = 2
+			cfg.Epochs = 1
+			cfg.Data.Samples = 64
+			cfg.TestSamples = 32
+			if _, err := Train(cfg); err != nil {
+				t.Fatalf("%s: %v", scheme, err)
+			}
+		})
+	}
+}
+
+func TestFacadeCompressorRegistry(t *testing.T) {
+	c, err := NewCompressor("fp16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "fp16" {
+		t.Fatalf("got %s", c.Name())
+	}
+	if _, err := NewCompressor("bogus", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	fig4 := Fig4Topology(100 * Mbps)
+	if len(fig4.Hosts()) != 8 {
+		t.Fatal("Fig4Topology should expose 8 hosts")
+	}
+	flat := FlatTopology(4, Gbps)
+	if len(flat.Hosts()) != 4 {
+		t.Fatal("FlatTopology host count")
+	}
+}
+
+func TestFacadeProfilesAndWorkloads(t *testing.T) {
+	if len(Profiles()) != 4 {
+		t.Fatal("expected 4 paper profiles")
+	}
+	if len(PaperWorkloads()) != 4 {
+		t.Fatal("expected 4 paper workloads")
+	}
+	cm := A40ComputeModel(1e9)
+	if cm.IterSeconds(32) <= 0 {
+		t.Fatal("compute model broken")
+	}
+}
+
+func TestFacadeExperimentDispatch(t *testing.T) {
+	if _, err := Experiment("not-an-experiment", Options{}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	for _, id := range ExperimentIDs() {
+		if id == "" {
+			t.Fatal("empty experiment id")
+		}
+	}
+	// Run the cheapest experiment end-to-end through the facade.
+	report, err := Experiment("ablation-mt", Options{Quick: true, World: 2, Samples: 128, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.Render(), "stability window") {
+		t.Fatal("report malformed")
+	}
+}
