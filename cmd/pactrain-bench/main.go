@@ -9,10 +9,18 @@
 //	pactrain-bench -exp table1            # Table 1 property matrix
 //	pactrain-bench -exp ablation-mt       # Mask Tracker window ablation
 //	pactrain-bench -exp all -quick        # everything, fast settings
+//	pactrain-bench -exp all -parallel 4   # overlap independent trainings
+//	pactrain-bench -exp all -cache .pactrain-cache   # reuse recorded runs
+//	pactrain-bench -exp fig3 -json        # machine-readable report
 //
 // Full-fidelity runs train the four lite-twin models for 12 epochs each and
 // take minutes of wall time; -quick substitutes the MLP twin and finishes
 // in seconds while exercising identical code paths.
+//
+// All experiments share one run engine: identical (model, scheme, seed)
+// trainings are deduplicated across experiments within the invocation, and
+// with -cache also across invocations. Reports are byte-identical at any
+// -parallel setting.
 package main
 
 import (
@@ -30,17 +38,25 @@ func main() {
 	samples := flag.Int("samples", 0, "synthetic training samples (0 = preset default)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	parallel := flag.Int("parallel", 1, "concurrent training jobs")
+	cacheDir := flag.String("cache", "", "directory for the on-disk run cache (empty = disabled)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON reports instead of text")
 	flag.Parse()
 
 	opt := pactrain.Options{
-		Quick:   *quick,
-		World:   *world,
-		Samples: *samples,
-		Seed:    *seed,
+		Quick:       *quick,
+		World:       *world,
+		Samples:     *samples,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		CacheDir:    *cacheDir,
 	}
 	if !*quiet {
 		opt.Log = os.Stderr
 	}
+	// One engine for the whole invocation: experiments share trained runs.
+	eng := pactrain.NewExperimentEngine(opt)
+	opt.Engine = eng
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -52,6 +68,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s ====\n\n%s\n", id, report.Render())
+		if *asJSON {
+			raw, err := pactrain.ExperimentJSON(id, opt, report)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", raw)
+		} else {
+			fmt.Printf("==== %s ====\n\n%s\n", id, report.Render())
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "engine: %s\n", eng.Stats().Summary())
 	}
 }

@@ -1,0 +1,3 @@
+module pactrain
+
+go 1.24

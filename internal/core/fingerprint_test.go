@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"pactrain/internal/netsim"
+)
+
+func fpConfig() Config {
+	cfg := DefaultConfig("MLP", "pactrain-ternary")
+	cfg.World = 2
+	cfg.Epochs = 1
+	cfg.Data.Samples = 64
+	cfg.TestSamples = 32
+	return cfg
+}
+
+func TestFingerprintStable(t *testing.T) {
+	t.Parallel()
+	a, b := fpConfig(), fpConfig()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal configs fingerprint differently")
+	}
+	// Fingerprinting is a pure function: repeated calls agree and the
+	// config is not mutated (validate runs on a copy).
+	if a.Topology != nil {
+		t.Fatal("Fingerprint materialized the caller's topology")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint unstable across calls")
+	}
+}
+
+// TestFingerprintNormalizesDefaults checks that a zero field and its
+// explicit default collapse to one key, so equivalent configs built through
+// different paths deduplicate.
+func TestFingerprintNormalizesDefaults(t *testing.T) {
+	t.Parallel()
+	implicit := fpConfig() // Topology nil → Fig. 4 at BottleneckBps
+	explicit := fpConfig()
+	explicit.Topology = netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: explicit.BottleneckBps})
+	if implicit.Fingerprint() != explicit.Fingerprint() {
+		t.Fatal("implicit and explicit default topology fingerprint differently")
+	}
+
+	// Pruning knobs are dead fields on non-PacTrain schemes and must not
+	// split the key (Fig. 6's ratio-0 reference deduplicates against the
+	// plain all-reduce baseline)...
+	ar1, ar2 := fpConfig(), fpConfig()
+	ar1.Scheme, ar2.Scheme = "all-reduce", "all-reduce"
+	ar2.PruneRatio = 0
+	ar2.StableWindow = 5
+	if ar1.Fingerprint() != ar2.Fingerprint() {
+		t.Fatal("pruning knobs split the key for a non-pruning scheme")
+	}
+	// ...but remain significant for PacTrain schemes.
+	pt1, pt2 := fpConfig(), fpConfig()
+	pt2.PruneRatio = 0.9
+	if pt1.Fingerprint() == pt2.Fingerprint() {
+		t.Fatal("prune ratio ignored for a PacTrain scheme")
+	}
+}
+
+// TestFingerprintDistinguishesResultChangingFields flips every config field
+// that changes training output and asserts the key moves.
+func TestFingerprintDistinguishesResultChangingFields(t *testing.T) {
+	t.Parallel()
+	baseCfg := fpConfig()
+	base := baseCfg.Fingerprint()
+	mutations := map[string]func(*Config){
+		"model":        func(c *Config) { c.ModelName = "VGG19" },
+		"width":        func(c *Config) { c.Lite.Width = 12 },
+		"data_seed":    func(c *Config) { c.Data.Seed++ },
+		"samples":      func(c *Config) { c.Data.Samples += 64 },
+		"test_samples": func(c *Config) { c.TestSamples += 32 },
+		"world":        func(c *Config) { c.World = 4 },
+		"scheme":       func(c *Config) { c.Scheme = "pactrain" },
+		"prune_ratio":  func(c *Config) { c.PruneRatio = 0.7 },
+		"pretrain":     func(c *Config) { c.PretrainEpochs++ },
+		"window":       func(c *Config) { c.StableWindow++ },
+		"epochs":       func(c *Config) { c.Epochs++ },
+		"batch":        func(c *Config) { c.BatchSize *= 2 },
+		"lr":           func(c *Config) { c.LR *= 2 },
+		"momentum":     func(c *Config) { c.Momentum = 0.8 },
+		"weight_decay": func(c *Config) { c.WeightDecay *= 2 },
+		"target":       func(c *Config) { c.TargetAcc = 0.5 },
+		"eval_every":   func(c *Config) { c.EvalEvery = 3 },
+		"buckets":      func(c *Config) { c.BucketBytes = 1 << 12 },
+		"profile":      func(c *Config) { c.Profile.Params *= 2 },
+		"compute":      func(c *Config) { c.Compute.DeviceFLOPS *= 2 },
+		"seed":         func(c *Config) { c.Seed++ },
+		"record":       func(c *Config) { c.RecordComm = false },
+		"bottleneck":   func(c *Config) { c.BottleneckBps = 100 * netsim.Mbps },
+		"trace": func(c *Config) {
+			c.Traces = []*netsim.BandwidthTrace{{LinkIndex: 0, Segments: []netsim.TraceSegment{{UntilSec: 1, Scale: 0.5}}}}
+		},
+		"topology": func(c *Config) { c.Topology = netsim.FlatTopology(8, netsim.Gbps, 1e-4) },
+	}
+	for name, mutate := range mutations {
+		cfg := fpConfig()
+		mutate(&cfg)
+		if cfg.Fingerprint() == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}

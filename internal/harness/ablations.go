@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"pactrain/internal/core"
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 )
@@ -29,16 +30,26 @@ type AblationMTResult struct {
 // coverage against robustness.
 func RunAblationMT(opt Options) (*AblationMTResult, error) {
 	opt.defaults()
+	eng := opt.engine()
 	w := opt.workloads()[0]
 	out := &AblationMTResult{Model: w.Model}
 	opt.logf("Ablation: Mask Tracker stability window on %s", w.Model)
-	for _, window := range []int{1, 2, 4, 8} {
+	windows := []int{1, 2, 4, 8}
+	var jobs []engine.Job
+	for _, window := range windows {
 		cfg := baseConfig(w, "pactrain", opt)
 		cfg.StableWindow = window
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-mt window %d: %w", window, err)
-		}
+		jobs = append(jobs, engine.Job{
+			Label:  fmt.Sprintf("ablation-mt %s/w%d", w.Model, window),
+			Config: cfg,
+		})
+	}
+	results, err := eng.RunAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("ablation-mt: %w", err)
+	}
+	for wi, window := range windows {
+		res := results[wi]
 		tta, reached := res.Curve.TTA(w.TargetAcc)
 		out.Rows = append(out.Rows, AblationMTRow{
 			Window: window, StableFraction: res.StableFraction,
@@ -81,18 +92,21 @@ type AblationTernaryResult struct {
 // re-costs both across the Fig. 3 bandwidths.
 func RunAblationTernary(opt Options) (*AblationTernaryResult, error) {
 	opt.defaults()
+	eng := opt.engine()
 	w := opt.workloads()[0]
 	out := &AblationTernaryResult{Model: w.Model}
 	opt.logf("Ablation: ternary stage on %s", w.Model)
 
-	plainRes, plainCfg, err := trainOnce(w, "pactrain", opt)
-	if err != nil {
-		return nil, err
+	jobs := []engine.Job{
+		trainJob("ablation-tern", w, "pactrain", opt),
+		trainJob("ablation-tern", w, "pactrain-ternary", opt),
 	}
-	ternRes, ternCfg, err := trainOnce(w, "pactrain-ternary", opt)
+	results, err := eng.RunAll(jobs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ablation-tern: %w", err)
 	}
+	plainRes, plainCfg := results[0], jobs[0].Config
+	ternRes, ternCfg := results[1], jobs[1].Config
 	for _, bw := range Fig3Bandwidths() {
 		pt, _ := recostTTA(plainRes, &plainCfg, bw, w.TargetAcc)
 		tt, _ := recostTTA(ternRes, &ternCfg, bw, w.TargetAcc)
@@ -139,15 +153,22 @@ type AblationTopoResult struct {
 // Fig. 4 topology versus a flat switch at 500 Mbps.
 func RunAblationTopo(opt Options) (*AblationTopoResult, error) {
 	opt.defaults()
+	eng := opt.engine()
 	w := opt.workloads()[0]
 	out := &AblationTopoResult{}
 	opt.logf("Ablation: topology sensitivity on %s", w.Model)
 	bw := 500 * netsim.Mbps
-	for _, scheme := range []string{"all-reduce", "pactrain-ternary"} {
-		res, cfg, err := trainOnce(w, scheme, opt)
-		if err != nil {
-			return nil, err
-		}
+	schemes := []string{"all-reduce", "pactrain-ternary"}
+	var jobs []engine.Job
+	for _, scheme := range schemes {
+		jobs = append(jobs, trainJob("ablation-topo", w, scheme, opt))
+	}
+	results, err := eng.RunAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("ablation-topo: %w", err)
+	}
+	for si, scheme := range schemes {
+		res, cfg := results[si], jobs[si].Config
 		// Fig. 4 at bw bottleneck.
 		fig4TTA, reached4 := recostTTA(res, &cfg, bw, w.TargetAcc)
 		out.Rows = append(out.Rows, AblationTopoRow{Topology: "fig4", Scheme: scheme, TTA: fig4TTA, Reached: reached4})
@@ -160,25 +181,8 @@ func RunAblationTopo(opt Options) (*AblationTopoResult, error) {
 
 // recostOnTopology generalizes recostTTA to an arbitrary topology.
 func recostOnTopology(res *core.Result, cfg *core.Config, topo *netsim.Topology, target float64) (float64, bool) {
-	fabric := netsim.NewFabric(topo)
-	hosts := topo.Hosts()[:cfg.World]
-	computeIter := cfg.Compute.IterSeconds(cfg.BatchSize)
-	cum := make([]float64, len(res.CommLog.Iters)+1)
-	t := 0.0
-	for i, ops := range res.CommLog.Iters {
-		t += computeIter
-		t += core.CostIter(ops, fabric, hosts, t)
-		cum[i+1] = t
-	}
-	for _, p := range res.Curve.Points {
-		if p.Acc >= target {
-			if p.Iter < len(cum) {
-				return cum[p.Iter], true
-			}
-			return cum[len(cum)-1], true
-		}
-	}
-	return cum[len(cum)-1], false
+	cum := recostCum(res, cfg, netsim.NewFabric(topo))
+	return ttaFromCum(res, cum, target)
 }
 
 // Render prints the grid.

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"pactrain/internal/core"
+)
+
+// cacheVersion invalidates stored entries whenever the Result schema or the
+// fingerprint's coverage changes; bump it on either.
+const cacheVersion = 1
+
+// Cache persists training Results as one JSON file per config fingerprint.
+// A hit returns the Result of a previous process's identical run, which the
+// experiments then re-cost under whatever bandwidths they need — the same
+// train-once/re-cost economy the harness applies within a process, extended
+// across processes.
+//
+// Entries are written atomically (temp file + rename), so a cache directory
+// shared by concurrent processes serves at worst a miss, never a torn read.
+type Cache struct {
+	dir string
+}
+
+// cacheEntry is the on-disk envelope.
+type cacheEntry struct {
+	Version int          `json:"version"`
+	Result  *core.Result `json:"result"`
+}
+
+// NewCache returns a cache rooted at dir; the directory is created lazily on
+// first store.
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir}
+}
+
+func (c *Cache) path(fp string) string {
+	return filepath.Join(c.dir, fp+".json")
+}
+
+// Load fetches the Result for a fingerprint; ok is false on miss, version
+// skew, or a corrupt entry (all treated as misses).
+func (c *Cache) Load(fp string) (*core.Result, bool) {
+	raw, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(raw, &entry); err != nil || entry.Version != cacheVersion || entry.Result == nil {
+		return nil, false
+	}
+	// Wall time is a property of the recorded process, meaningless here.
+	entry.Result.WallSeconds = 0
+	return entry.Result, true
+}
+
+// Store persists a Result under a fingerprint.
+func (c *Cache) Store(fp string, res *core.Result) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	cp := *res
+	cp.WallSeconds = 0
+	raw, err := json.Marshal(cacheEntry{Version: cacheVersion, Result: &cp})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, fp+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, c.path(fp))
+}

@@ -1,0 +1,204 @@
+// Package engine schedules the experiment harness's training jobs. Every
+// experiment in the paper's evaluation (§IV) is a grid over (model, scheme,
+// bandwidth, topology) whose expensive axis is training; the engine turns
+// each grid into declarative Jobs keyed by core.Config.Fingerprint and runs
+// them through one shared worker pool with:
+//
+//   - singleflight deduplication: identical jobs submitted by any experiment
+//     in the process train exactly once and share the Result (training is
+//     deterministic for a fingerprint, so sharing is exact);
+//   - bounded parallelism: at most Parallelism trainings run concurrently,
+//     independent grid cells overlapping on the wall clock;
+//   - an optional on-disk JSON result cache, so repeated CLI invocations
+//     re-cost recorded runs instead of re-training them.
+//
+// Experiments submit jobs in a deterministic order and assemble reports from
+// the returned slice, so report bytes are independent of scheduling.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pactrain/internal/core"
+)
+
+// Job is one declarative unit of training work: a fully specified run
+// configuration plus a human-readable label for progress logging.
+type Job struct {
+	// Label names the job in the progress log, e.g. "fig3 VGG19/fp16".
+	Label string
+	// Config is the run to execute; its Fingerprint is the dedup key.
+	Config core.Config
+}
+
+// Stats counts what the engine did on behalf of its callers.
+type Stats struct {
+	// Submitted is the number of Run/RunAll job submissions.
+	Submitted int
+	// Trained is the number of core.Run invocations actually executed.
+	Trained int
+	// Deduped counts submissions satisfied by an identical in-process job.
+	Deduped int
+	// CacheHits counts submissions satisfied from the on-disk cache.
+	CacheHits int
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism bounds concurrent trainings (min 1).
+	Parallelism int
+	// CacheDir enables the on-disk result cache when non-empty.
+	CacheDir string
+	// Log receives per-job progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Engine is a concurrency-limited, deduplicating scheduler for training
+// jobs. It is safe for concurrent use; one engine is typically shared by
+// every experiment in a process.
+type Engine struct {
+	sem   chan struct{}
+	cache *Cache
+	log   io.Writer
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	stats    Stats
+
+	logMu sync.Mutex
+}
+
+// call is one singleflight entry: the first submitter of a fingerprint
+// trains; later submitters wait on done and share the outcome.
+type call struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// New builds an engine.
+func New(opt Options) *Engine {
+	if opt.Parallelism < 1 {
+		opt.Parallelism = 1
+	}
+	if opt.Log == nil {
+		opt.Log = io.Discard
+	}
+	var cache *Cache
+	if opt.CacheDir != "" {
+		cache = NewCache(opt.CacheDir)
+	}
+	return &Engine{
+		sem:      make(chan struct{}, opt.Parallelism),
+		cache:    cache,
+		log:      opt.Log,
+		inflight: make(map[string]*call),
+	}
+}
+
+// Run executes one job, deduplicating against identical in-flight or
+// completed jobs and the on-disk cache. The returned Result is shared
+// between deduplicated callers and must be treated as read-only.
+func (e *Engine) Run(job Job) (*core.Result, error) {
+	fp := job.Config.Fingerprint()
+
+	e.mu.Lock()
+	e.stats.Submitted++
+	if c, ok := e.inflight[fp]; ok {
+		e.stats.Deduped++
+		e.mu.Unlock()
+		e.logf("engine: %-32s %s deduplicated", job.Label, fp)
+		<-c.done
+		return c.res, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[fp] = c
+	e.mu.Unlock()
+
+	c.res, c.err = e.execute(job, fp)
+	close(c.done)
+	if c.err != nil {
+		// Do not poison the key forever: a failed job may be retried.
+		e.mu.Lock()
+		delete(e.inflight, fp)
+		e.mu.Unlock()
+	}
+	return c.res, c.err
+}
+
+// execute resolves a job the first submitter owns: disk cache, then a
+// pool-limited training run.
+func (e *Engine) execute(job Job, fp string) (*core.Result, error) {
+	if e.cache != nil {
+		if res, ok := e.cache.Load(fp); ok {
+			e.mu.Lock()
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			e.logf("engine: %-32s %s cache hit", job.Label, fp)
+			return res, nil
+		}
+	}
+
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	e.logf("engine: %-32s %s training (%s/%s, %d epochs, world %d)",
+		job.Label, fp, job.Config.ModelName, job.Config.Scheme, job.Config.Epochs, job.Config.World)
+	res, err := core.Run(job.Config)
+	if err != nil {
+		return nil, fmt.Errorf("engine: job %s (%s): %w", job.Label, fp, err)
+	}
+	e.mu.Lock()
+	e.stats.Trained++
+	e.mu.Unlock()
+	if e.cache != nil {
+		if err := e.cache.Store(fp, res); err != nil {
+			e.logf("engine: %-32s %s cache store failed: %v", job.Label, fp, err)
+		}
+	}
+	return res, nil
+}
+
+// RunAll executes jobs concurrently (bounded by Parallelism) and returns
+// their results in submission order. The first error aborts the return but
+// every job is waited for, so partial work never leaks goroutines.
+func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
+	results := make([]*core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			results[i], errs[i] = e.Run(job)
+		}(i, job)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Summary renders the counters as one progress line.
+func (s Stats) Summary() string {
+	return fmt.Sprintf("%d jobs submitted: %d trained, %d deduplicated, %d cache hits",
+		s.Submitted, s.Trained, s.Deduped, s.CacheHits)
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	fmt.Fprintf(e.log, format+"\n", args...)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 )
@@ -41,6 +42,7 @@ type Fig3Result struct {
 // bottleneck bandwidth and normalizes TTA to the all-reduce baseline.
 func RunFig3(opt Options) (*Fig3Result, error) {
 	opt.defaults()
+	eng := opt.engine()
 	workloads := opt.workloads()
 	schemes := Fig3Schemes()
 	bandwidths := Fig3Bandwidths()
@@ -49,14 +51,23 @@ func RunFig3(opt Options) (*Fig3Result, error) {
 	opt.logf("Fig. 3: end-to-end TTA, %d models × %d schemes × %d bandwidths",
 		len(workloads), len(schemes), len(bandwidths))
 
+	var jobs []engine.Job
 	for _, w := range workloads {
+		for _, scheme := range schemes {
+			jobs = append(jobs, trainJob("fig3", w, scheme, opt))
+		}
+	}
+	results, err := eng.RunAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+
+	for wi, w := range workloads {
 		out.Models = append(out.Models, w.Model)
 		baselineTTA := make(map[float64]float64)
-		for _, scheme := range schemes {
-			res, cfg, err := trainOnce(w, scheme, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s/%s: %w", w.Model, scheme, err)
-			}
+		for si, scheme := range schemes {
+			res := results[wi*len(schemes)+si]
+			cfg := jobs[wi*len(schemes)+si].Config
 			for _, bw := range bandwidths {
 				tta, reached := recostTTA(res, &cfg, bw, w.TargetAcc)
 				if scheme == "all-reduce" {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"pactrain/internal/core"
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 )
@@ -32,9 +32,10 @@ type Fig5Result struct {
 // 1 Gbps "due to its representative slow convergence"; quick mode uses the
 // MLP twin. The accuracy target is the calibrated ResNet152 workload
 // target (the paper's 84% threshold re-based to the synthetic task, see
-// EXPERIMENTS.md).
+// DESIGN.md §3).
 func RunFig5(opt Options) (*Fig5Result, error) {
 	opt.defaults()
+	eng := opt.engine()
 	w := PaperWorkloads()[2] // ResNet152
 	if opt.Quick {
 		w = QuickWorkloads()[0]
@@ -43,33 +44,32 @@ func RunFig5(opt Options) (*Fig5Result, error) {
 	out := &Fig5Result{Model: w.Model, TargetAcc: w.TargetAcc}
 	opt.logf("Fig. 5: time-to-accuracy curves, %s @ 1 Gbps, target %.0f%%", w.Model, w.TargetAcc*100)
 
-	ttas := map[string]float64{}
+	var jobs []engine.Job
 	for _, scheme := range schemes {
-		cfg := baseConfig(w, scheme, opt)
-		cfg.BottleneckBps = 1 * netsim.Gbps
-		cfg.Topology = nil // rebuilt by validate at the 1 Gbps bottleneck
-		opt.logf("  training %s / %s...", w.Model, DisplayName(scheme))
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s: %w", scheme, err)
-		}
+		job := trainJob("fig5", w, scheme, opt)
+		job.Config.BottleneckBps = 1 * netsim.Gbps
+		job.Config.Topology = nil // rebuilt by validate at the 1 Gbps bottleneck
+		jobs = append(jobs, job)
+	}
+	results, err := eng.RunAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+
+	ttas := map[string]float64{}
+	for si, scheme := range schemes {
+		res := results[si]
 		tta, reached := res.Curve.TTA(w.TargetAcc)
 		ttas[scheme] = tta
 		out.Series = append(out.Series, Fig5Series{
 			Scheme: scheme, Curve: res.Curve, TTASeconds: tta, Reached: reached,
 		})
-		opt.logf("    best acc %.3f, TTA %s (reached=%v)", res.BestAcc, metrics.FormatSeconds(tta), reached)
+		opt.logf("  %s / %s: best acc %.3f, TTA %s (reached=%v)",
+			w.Model, DisplayName(scheme), res.BestAcc, metrics.FormatSeconds(tta), reached)
 	}
 	out.SpeedupVsAllReduce = metrics.Speedup(ttas["pactrain-ternary"], ttas["all-reduce"])
 	out.SpeedupVsFP16 = metrics.Speedup(ttas["pactrain-ternary"], ttas["fp16"])
 	return out, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Render prints the per-scheme TTA summary and each curve.

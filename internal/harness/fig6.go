@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"pactrain/internal/core"
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 )
 
@@ -40,14 +40,15 @@ func Fig6Ratios(quick bool) []float64 {
 // completion at each pruning ratio and recording final accuracy.
 func RunFig6(opt Options) (*Fig6Result, error) {
 	opt.defaults()
+	eng := opt.engine()
 	ratios := Fig6Ratios(opt.Quick)
 	out := &Fig6Result{Ratios: ratios}
 	workloads := opt.workloads()
 	opt.logf("Fig. 6: pruning ratio vs final accuracy, %d models × %d ratios",
 		len(workloads), len(ratios))
 
+	var jobs []engine.Job
 	for _, w := range workloads {
-		out.Models = append(out.Models, w.Model)
 		for _, ratio := range ratios {
 			cfg := baseConfig(w, "pactrain", opt)
 			cfg.PruneRatio = ratio
@@ -62,12 +63,22 @@ func RunFig6(opt Options) (*Fig6Result, error) {
 				// Ratio 0 is the unpruned reference; run the plain scheme.
 				cfg.Scheme = "all-reduce"
 			}
-			opt.logf("  %s @ ratio %.2f...", w.Model, ratio)
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s@%v: %w", w.Model, ratio, err)
-			}
-			opt.logf("    final acc %.3f", res.FinalAcc)
+			jobs = append(jobs, engine.Job{
+				Label:  fmt.Sprintf("fig6 %s@%.2f", w.Model, ratio),
+				Config: cfg,
+			})
+		}
+	}
+	results, err := eng.RunAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+
+	for wi, w := range workloads {
+		out.Models = append(out.Models, w.Model)
+		for ri, ratio := range ratios {
+			res := results[wi*len(ratios)+ri]
+			opt.logf("  %s @ ratio %.2f: final acc %.3f", w.Model, ratio, res.FinalAcc)
 			out.Points = append(out.Points, Fig6Point{
 				Model: w.Model, Ratio: ratio,
 				FinalAcc: res.FinalAcc, BestAcc: res.BestAcc,

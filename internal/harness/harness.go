@@ -11,6 +11,13 @@
 // re-cost the recorded per-iteration communication under each bandwidth —
 // producing identical results to re-running at a fraction of the wall
 // time.
+//
+// Every experiment expresses its grid as declarative jobs submitted to the
+// shared scheduler in internal/harness/engine, which deduplicates identical
+// (model, scheme, seed) trainings across experiments, bounds parallelism,
+// and optionally caches results on disk (Options.Parallelism, CacheDir,
+// Engine). Jobs are submitted and assembled in a fixed order, so reports
+// are byte-identical to the historical serial path at any parallelism.
 package harness
 
 import (
@@ -19,6 +26,7 @@ import (
 
 	"pactrain/internal/core"
 	"pactrain/internal/data"
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 	"pactrain/internal/nn"
@@ -64,12 +72,26 @@ type Options struct {
 	Quick bool
 	// World is the worker count (default 8, the paper's testbed size).
 	World int
-	// Samples is the synthetic training-set size (default 1024).
+	// Samples is the synthetic training-set size (default 768, or 320 in
+	// Quick mode).
 	Samples int
 	// Seed drives all randomness.
 	Seed uint64
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+
+	// Parallelism bounds concurrent training jobs (default 1, the serial
+	// pre-engine behavior). Reports are byte-identical at any setting: jobs
+	// are keyed deterministically and assembled in submission order.
+	Parallelism int
+	// CacheDir enables the on-disk result cache when non-empty, so repeated
+	// invocations re-cost recorded runs instead of re-training them.
+	CacheDir string
+	// Engine, when non-nil, is the shared scheduler to submit jobs to;
+	// sharing one engine across experiments deduplicates identical
+	// (model, scheme, seed) trainings between them. When nil, each
+	// experiment builds a private engine from Parallelism/CacheDir/Log.
+	Engine *engine.Engine
 }
 
 func (o *Options) defaults() {
@@ -89,6 +111,30 @@ func (o *Options) defaults() {
 	if o.Log == nil {
 		o.Log = io.Discard
 	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+}
+
+// NewEngine builds the scheduler an Options describes. The experiment
+// drivers (cmd/pactrain-bench, tests) construct one and set Options.Engine
+// so every experiment in the process shares its dedup table and cache.
+func NewEngine(opt Options) *engine.Engine {
+	opt.defaults()
+	return engine.New(engine.Options{
+		Parallelism: opt.Parallelism,
+		CacheDir:    opt.CacheDir,
+		Log:         opt.Log,
+	})
+}
+
+// engine returns the shared scheduler, or a private one for a standalone
+// experiment call.
+func (o *Options) engine() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return NewEngine(*o)
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -118,6 +164,14 @@ func baseConfig(w Workload, scheme string, opt Options) core.Config {
 		cfg.Epochs = min(w.Epochs, 6)
 	}
 	cfg.BatchSize = 8
+	// Round the dataset up so every shard divides into full batches. This
+	// is the invariant the comment above promises: training prices a short
+	// final batch by its actual size while recostCum charges the constant
+	// full-batch compute time, so a non-dividing sample count would break
+	// re-costing exactness. The presets (768/320/test sizes) already
+	// divide; only odd -samples values are padded.
+	chunk := cfg.World * cfg.BatchSize
+	cfg.Data.Samples = ((cfg.Data.Samples + chunk - 1) / chunk) * chunk
 	cfg.LR = w.LR
 	cfg.TargetAcc = w.TargetAcc
 	cfg.Seed = opt.Seed
@@ -130,13 +184,6 @@ func baseConfig(w Workload, scheme string, opt Options) core.Config {
 		cfg.EvalEvery = itersPerEpoch / 2
 	}
 	return cfg
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Fig3Schemes lists the aggregation schemes of Fig. 3 in plot order. The
@@ -165,17 +212,15 @@ func DisplayName(scheme string) string {
 	return scheme
 }
 
-// recostTTA recomputes a recorded run's accuracy-vs-time curve under a
-// different bottleneck bandwidth and returns the time to target. The
-// convergence trajectory (accuracy per iteration) is reused; only the
-// clock is rebuilt from compute time plus the re-priced communication ops.
-func recostTTA(res *core.Result, cfg *core.Config, bottleneck float64, target float64) (float64, bool) {
-	topo := netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: bottleneck})
-	fabric := netsim.NewFabric(topo)
-	hosts := topo.Hosts()[:cfg.World]
+// recostCum rebuilds a recorded run's cumulative simulated clock on an
+// arbitrary fabric (bandwidth traces included): cum[i] is the simulated time
+// after i iterations of compute plus re-priced communication. Because
+// training prices collectives with the same cost functions at the same
+// absolute times, re-costing on a fabric identical to the training fabric
+// reproduces the recorded clock exactly (see TestRecostReproducesTraining).
+func recostCum(res *core.Result, cfg *core.Config, fabric *netsim.Fabric) []float64 {
+	hosts := fabric.Topo.Hosts()[:cfg.World]
 	computeIter := cfg.Compute.IterSeconds(cfg.BatchSize)
-
-	// Cumulative simulated time per iteration.
 	cum := make([]float64, len(res.CommLog.Iters)+1)
 	t := 0.0
 	for i, ops := range res.CommLog.Iters {
@@ -183,6 +228,12 @@ func recostTTA(res *core.Result, cfg *core.Config, bottleneck float64, target fl
 		t += core.CostIter(ops, fabric, hosts, t)
 		cum[i+1] = t
 	}
+	return cum
+}
+
+// ttaFromCum reads the time-to-target off a rebuilt clock: the re-costed
+// time of the first curve point at or above target.
+func ttaFromCum(res *core.Result, cum []float64, target float64) (float64, bool) {
 	for _, p := range res.Curve.Points {
 		if p.Acc >= target {
 			if p.Iter < len(cum) {
@@ -194,18 +245,22 @@ func recostTTA(res *core.Result, cfg *core.Config, bottleneck float64, target fl
 	return cum[len(cum)-1], false
 }
 
-// trainOnce runs one (workload, scheme) training with communication
-// recording, logging progress.
-func trainOnce(w Workload, scheme string, opt Options) (*core.Result, core.Config, error) {
-	cfg := baseConfig(w, scheme, opt)
-	opt.logf("  training %s / %s (%d epochs, world %d)...", w.Model, DisplayName(scheme), cfg.Epochs, cfg.World)
-	res, err := core.Run(cfg)
-	if err != nil {
-		return nil, cfg, err
+// recostTTA recomputes a recorded run's accuracy-vs-time curve under a
+// different bottleneck bandwidth and returns the time to target. The
+// convergence trajectory (accuracy per iteration) is reused; only the
+// clock is rebuilt from compute time plus the re-priced communication ops.
+func recostTTA(res *core.Result, cfg *core.Config, bottleneck float64, target float64) (float64, bool) {
+	topo := netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: bottleneck})
+	return recostOnTopology(res, cfg, topo, target)
+}
+
+// trainJob builds the engine job for one (workload, scheme) training with
+// communication recording.
+func trainJob(exp string, w Workload, scheme string, opt Options) engine.Job {
+	return engine.Job{
+		Label:  fmt.Sprintf("%s %s/%s", exp, w.Model, DisplayName(scheme)),
+		Config: baseConfig(w, scheme, opt),
 	}
-	opt.logf("    best acc %.3f, %d iters, stable fraction %.2f",
-		res.BestAcc, res.Iterations, res.StableFraction)
-	return res, cfg, nil
 }
 
 // renderRelTTA formats a relative-TTA cell, flagging runs that never

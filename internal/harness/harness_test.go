@@ -1,18 +1,39 @@
 package harness
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/netsim"
 )
 
-// quickOpts keeps harness tests fast: MLP twin, 4 workers, small dataset.
+// testEngine is shared by every test in the package: experiments submitting
+// identical (model, scheme, seed) jobs — and tests re-running the same
+// experiment — train once and share the Result, exactly as `pactrain-bench
+// -exp all` does in production.
+var testEngine = engine.New(engine.Options{Parallelism: runtime.GOMAXPROCS(0)})
+
+// quickOpts keeps harness tests fast: MLP twin, 4 workers, small dataset,
+// jobs deduplicated through the shared engine.
 func quickOpts() Options {
-	return Options{Quick: true, World: 4, Samples: 320, Seed: 3}
+	return Options{Quick: true, World: 4, Samples: 320, Seed: 3, Engine: testEngine}
+}
+
+// skipIfShort gates the full-fidelity experiment tests out of `go test
+// -short ./...` (the CI fast lane); the engine and fingerprint unit tests
+// still cover the scheduling machinery there.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping full-fidelity harness experiment in -short mode")
+	}
 }
 
 func TestRunFig3Quick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunFig3(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -48,6 +69,8 @@ func TestRunFig3Quick(t *testing.T) {
 }
 
 func TestFig3SpeedupGrowsAsBandwidthShrinks(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunFig3(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +85,8 @@ func TestFig3SpeedupGrowsAsBandwidthShrinks(t *testing.T) {
 }
 
 func TestRunFig5Quick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunFig5(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +109,8 @@ func TestRunFig5Quick(t *testing.T) {
 }
 
 func TestRunFig6Quick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunFig6(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +141,8 @@ func TestRunFig6Quick(t *testing.T) {
 }
 
 func TestRunTable1Quick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunTable1(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +172,8 @@ func TestRunTable1Quick(t *testing.T) {
 }
 
 func TestAblationMTQuick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunAblationMT(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +193,8 @@ func TestAblationMTQuick(t *testing.T) {
 }
 
 func TestAblationTernaryQuick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunAblationTernary(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +213,8 @@ func TestAblationTernaryQuick(t *testing.T) {
 }
 
 func TestAblationTopoQuick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunAblationTopo(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +243,7 @@ func TestAblationTopoQuick(t *testing.T) {
 }
 
 func TestDisplayNames(t *testing.T) {
+	t.Parallel()
 	if DisplayName("pactrain-ternary") != "PacTrain" {
 		t.Fatal("PacTrain display name wrong")
 	}
@@ -217,6 +253,7 @@ func TestDisplayNames(t *testing.T) {
 }
 
 func TestWorkloadPresets(t *testing.T) {
+	t.Parallel()
 	ws := PaperWorkloads()
 	if len(ws) != 4 {
 		t.Fatalf("paper workloads %d, want 4", len(ws))

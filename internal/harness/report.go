@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSONReport is the machine-readable envelope around one experiment result,
+// emitted alongside the human-readable Render() text. Report is the
+// experiment's full result struct (Fig3Result, Table1Result, ...), so every
+// measured number in the text tables is available to external tooling
+// without re-parsing.
+type JSONReport struct {
+	// Experiment is the experiment id ("table1", "fig3", ...).
+	Experiment string `json:"experiment"`
+	// Seed is the seed the grid ran under.
+	Seed uint64 `json:"seed"`
+	// Quick records whether the fast preset was used.
+	Quick bool `json:"quick"`
+	// Report is the experiment's result struct.
+	Report any `json:"report"`
+}
+
+// ReportJSON serializes an experiment result as an indented JSON document.
+func ReportJSON(id string, opt Options, report any) ([]byte, error) {
+	opt.defaults()
+	raw, err := json.MarshalIndent(JSONReport{
+		Experiment: id,
+		Seed:       opt.Seed,
+		Quick:      opt.Quick,
+		Report:     report,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("harness: marshal %s report: %w", id, err)
+	}
+	return raw, nil
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"pactrain/internal/compress"
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 )
@@ -64,6 +65,7 @@ func allReduceCompatible(scheme string) bool {
 // bandwidth-constrained link (500 Mbps, the middle of Fig. 3's range).
 func RunTable1(opt Options) (*Table1Result, error) {
 	opt.defaults()
+	eng := opt.engine()
 	w := PaperWorkloads()[0] // VGG19, the reference workload
 	if opt.Quick {
 		w = QuickWorkloads()[0]
@@ -72,11 +74,17 @@ func RunTable1(opt Options) (*Table1Result, error) {
 	out := &Table1Result{Model: w.Model, Bandwidth: bw}
 	opt.logf("Table 1: method properties on %s @ %s", w.Model, bandwidthLabel(bw))
 
-	// Lossless baseline.
-	baseRes, baseCfg, err := trainOnce(w, "all-reduce", opt)
-	if err != nil {
-		return nil, err
+	// Job 0 is the lossless baseline; the rest follow Table1Schemes order.
+	jobs := []engine.Job{trainJob("table1", w, "all-reduce", opt)}
+	for _, scheme := range Table1Schemes() {
+		jobs = append(jobs, trainJob("table1", w, scheme, opt))
 	}
+	results, err := eng.RunAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+
+	baseRes, baseCfg := results[0], jobs[0].Config
 	baseIters, baseReached := baseRes.Curve.IterTo(w.TargetAcc)
 	baseTTA, _ := recostTTA(baseRes, &baseCfg, bw, w.TargetAcc)
 	if !baseReached {
@@ -84,11 +92,8 @@ func RunTable1(opt Options) (*Table1Result, error) {
 		baseIters = baseRes.Iterations
 	}
 
-	for _, scheme := range Table1Schemes() {
-		res, cfg, err := trainOnce(w, scheme, opt)
-		if err != nil {
-			return nil, err
-		}
+	for si, scheme := range Table1Schemes() {
+		res, cfg := results[si+1], jobs[si+1].Config
 		iters, reached := res.Curve.IterTo(w.TargetAcc)
 		tta, ttaReached := recostTTA(res, &cfg, bw, w.TargetAcc)
 		row := Table1Row{

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"pactrain/internal/core"
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 )
@@ -33,15 +33,24 @@ type VarBWResult struct {
 // oscillating bottleneck: full bandwidth and a 10× dip alternating with a
 // period sized to the baseline's run length, so every run experiences
 // several dips.
+//
+// No scheme trains under the oscillation: convergence is bandwidth-
+// independent (synchronization is bit-exact at any link speed), so each
+// scheme's recorded untraced run — typically already trained by another
+// experiment sharing the engine — is re-costed on a traced fabric, which
+// reproduces a traced training's clock exactly
+// (TestRecostReproducesTrainingWithTraces).
 func RunAblationVarBW(opt Options) (*VarBWResult, error) {
 	opt.defaults()
+	eng := opt.engine()
 	w := opt.workloads()[0]
 	out := &VarBWResult{Model: w.Model, DipScale: 0.1}
 	opt.logf("Ablation: variable-constrained bandwidth on %s", w.Model)
 
-	// Size the oscillation period from an untraced baseline run.
-	probeCfg := baseConfig(w, "all-reduce", opt)
-	probe, err := core.Run(probeCfg)
+	// Size the oscillation period from an untraced baseline run. The probe
+	// is the plain all-reduce job, so any experiment sharing the engine has
+	// already paid for it.
+	probe, err := eng.Run(trainJob("ablation-varbw probe", w, "all-reduce", opt))
 	if err != nil {
 		return nil, fmt.Errorf("varbw probe: %w", err)
 	}
@@ -69,19 +78,24 @@ func RunAblationVarBW(opt Options) (*VarBWResult, error) {
 		return traces
 	}
 
-	for _, scheme := range []string{"all-reduce", "fp16", "pactrain-ternary"} {
-		cfg := baseConfig(w, scheme, opt)
-		// validate() builds the Fig. 4 topology; build it here so the
-		// trace link indices are known.
+	schemes := []string{"all-reduce", "fp16", "pactrain-ternary"}
+	var jobs []engine.Job
+	for _, scheme := range schemes {
+		jobs = append(jobs, trainJob("ablation-varbw", w, scheme, opt))
+	}
+	results, err := eng.RunAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("varbw: %w", err)
+	}
+	for si, scheme := range schemes {
+		res, cfg := results[si], jobs[si].Config
 		topo := netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: cfg.BottleneckBps})
-		cfg.Topology = topo
-		cfg.Traces = mkTraces(topo)
-		opt.logf("  training %s under oscillating bottleneck...", DisplayName(scheme))
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("varbw %s: %w", scheme, err)
+		fabric := netsim.NewFabric(topo)
+		for _, tr := range mkTraces(topo) {
+			fabric.SetTrace(tr)
 		}
-		tta, reached := res.Curve.TTA(w.TargetAcc)
+		cum := recostCum(res, &cfg, fabric)
+		tta, reached := ttaFromCum(res, cum, w.TargetAcc)
 		out.Rows = append(out.Rows, VarBWRow{
 			Scheme: scheme, TTASeconds: tta, Reached: reached, FinalAcc: res.FinalAcc,
 		})

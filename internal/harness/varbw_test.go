@@ -6,6 +6,8 @@ import (
 )
 
 func TestAblationVarBWQuick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
 	res, err := RunAblationVarBW(quickOpts())
 	if err != nil {
 		t.Fatal(err)

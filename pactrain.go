@@ -26,6 +26,7 @@ import (
 	"pactrain/internal/data"
 	"pactrain/internal/ddp"
 	"pactrain/internal/harness"
+	"pactrain/internal/harness/engine"
 	"pactrain/internal/netsim"
 	"pactrain/internal/nn"
 	"pactrain/internal/prune"
@@ -43,6 +44,12 @@ type (
 	Workload = harness.Workload
 	// Options configures experiment harness runs.
 	Options = harness.Options
+	// Engine is the shared experiment scheduler: a concurrency-limited
+	// worker pool that deduplicates identical training jobs across
+	// experiments and optionally caches results on disk.
+	Engine = engine.Engine
+	// EngineStats counts an engine's scheduling outcomes.
+	EngineStats = engine.Stats
 	// Topology is a simulated network graph.
 	Topology = netsim.Topology
 	// DatasetConfig configures synthetic dataset generation.
@@ -145,6 +152,13 @@ func ExperimentIDs() []string {
 
 // Experiment regenerates a paper table/figure (or ablation) by id and
 // returns its report.
+//
+// Experiments submit their training grids to a shared scheduler (see
+// NewExperimentEngine) that deduplicates identical jobs, bounds parallelism
+// (Options.Parallelism), and optionally caches results on disk
+// (Options.CacheDir). Set Options.Engine to share one scheduler across
+// several Experiment calls so repeated (model, scheme, seed) trainings
+// execute once per process.
 func Experiment(id string, opt Options) (Report, error) {
 	switch id {
 	case "table1":
@@ -165,4 +179,25 @@ func Experiment(id string, opt Options) (Report, error) {
 		return harness.RunAblationVarBW(opt)
 	}
 	return nil, fmt.Errorf("pactrain: unknown experiment %q (have %v)", id, ExperimentIDs())
+}
+
+// NewExperimentEngine builds the scheduler described by the options; assign
+// it to Options.Engine and reuse the Options across Experiment calls to
+// deduplicate training work between experiments.
+func NewExperimentEngine(opt Options) *Engine {
+	return harness.NewEngine(opt)
+}
+
+// ExperimentJSON serializes an experiment report as an indented
+// machine-readable JSON document, the structured counterpart of
+// Report.Render.
+func ExperimentJSON(id string, opt Options, rep Report) ([]byte, error) {
+	return harness.ReportJSON(id, opt, rep)
+}
+
+// Fingerprint returns the deterministic digest identifying everything about
+// a config that can influence its training Result — the deduplication and
+// cache key the experiment engine schedules by.
+func Fingerprint(cfg Config) string {
+	return cfg.Fingerprint()
 }

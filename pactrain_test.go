@@ -1,6 +1,7 @@
 package pactrain
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -97,5 +98,65 @@ func TestFacadeExperimentDispatch(t *testing.T) {
 	}
 	if !strings.Contains(report.Render(), "stability window") {
 		t.Fatal("report malformed")
+	}
+}
+
+func TestFacadeEngineSharing(t *testing.T) {
+	opt := Options{Quick: true, World: 2, Samples: 128, Seed: 4}
+	opt.Engine = NewExperimentEngine(opt)
+	// ablation-tern's pactrain-ternary job is a subset of table1's grid, so
+	// a shared engine must satisfy it without new training.
+	if _, err := Experiment("ablation-tern", opt); err != nil {
+		t.Fatal(err)
+	}
+	trained := opt.Engine.Stats().Trained
+	if _, err := Experiment("ablation-tern", opt); err != nil {
+		t.Fatal(err)
+	}
+	s := opt.Engine.Stats()
+	if s.Trained != trained {
+		t.Fatalf("re-running an experiment trained again: %+v", s)
+	}
+	if s.Deduped == 0 {
+		t.Fatal("no dedup recorded across experiments")
+	}
+}
+
+func TestFacadeExperimentJSON(t *testing.T) {
+	opt := Options{Quick: true, World: 2, Samples: 128, Seed: 4}
+	rep, err := Experiment("ablation-mt", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ExperimentJSON("ablation-mt", opt, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Seed       uint64 `json:"seed"`
+		Report     struct {
+			Rows []struct {
+				Window int
+			}
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON report: %v\n%s", err, raw)
+	}
+	if doc.Experiment != "ablation-mt" || doc.Seed != 4 || len(doc.Report.Rows) != 4 {
+		t.Fatalf("JSON report content wrong: %+v", doc)
+	}
+}
+
+func TestFacadeFingerprint(t *testing.T) {
+	a := DefaultConfig("MLP", "all-reduce")
+	b := DefaultConfig("MLP", "all-reduce")
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("equal configs fingerprint differently")
+	}
+	b.Seed++
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("seed change did not move the fingerprint")
 	}
 }
