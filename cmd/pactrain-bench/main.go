@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pactrain"
 )
@@ -61,6 +62,10 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = pactrain.ExperimentIDs()
+	} else if _, ok := pactrain.LookupExperiment(*exp); !ok {
+		fmt.Fprintf(os.Stderr, "pactrain-bench: unknown experiment %q; valid ids: %s, all\n",
+			*exp, strings.Join(pactrain.ExperimentIDs(), ", "))
+		os.Exit(2)
 	}
 	for _, id := range ids {
 		report, err := pactrain.Experiment(id, opt)

@@ -1,0 +1,99 @@
+// Command pactrain-serve runs the experiment harness as a long-running
+// HTTP/JSON service. One engine — with its singleflight table and on-disk
+// run cache — lives for the whole process, so every client's (experiment,
+// options) query shares the train-once/re-cost economy that pactrain-bench
+// only gets within a single invocation.
+//
+// Usage:
+//
+//	pactrain-serve -addr :8080 -parallel 4 -cache .pactrain-cache
+//
+//	curl -s localhost:8080/v1/experiments
+//	curl -s -X POST localhost:8080/v1/experiments \
+//	     -d '{"experiment":"fig3","quick":true}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/result
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM begin a graceful drain: new submissions are rejected
+// (healthz flips to 503 so load balancers stop routing), accepted jobs
+// finish, then the HTTP listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pactrain/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", 4, "concurrent training jobs inside the engine")
+	cacheDir := flag.String("cache", ".pactrain-cache", "directory for the on-disk run cache (empty = disabled)")
+	workers := flag.Int("workers", 2, "concurrently running experiment jobs")
+	queueDepth := flag.Int("queue", 64, "accepted-but-unstarted job limit")
+	history := flag.Int("history", 256, "retained finished-job records (oldest evict past this)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Minute, "how long shutdown waits for accepted jobs")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = io.Discard
+	}
+	s, err := serve.New(serve.Options{
+		Parallelism:  *parallel,
+		CacheDir:     *cacheDir,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		HistoryLimit: *history,
+		Log:          logw,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintf(logw, "pactrain-serve: signal received, draining\n")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(logw, "pactrain-serve: drain incomplete: %v\n", err)
+		}
+		// Keep serving polls until the drain finishes, then close the
+		// listener so in-flight responses flush.
+		closeCtx, cancelClose := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancelClose()
+		_ = httpSrv.Shutdown(closeCtx)
+	}()
+
+	fmt.Fprintf(logw, "pactrain-serve: listening on %s (engine parallelism %d, %d workers)\n",
+		*addr, *parallel, *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pactrain-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"pactrain/internal/core"
 )
@@ -82,4 +84,67 @@ func (c *Cache) Store(fp string, res *core.Result) error {
 		return err
 	}
 	return os.Rename(name, c.path(fp))
+}
+
+// SweepResult counts what a cache sweep examined and removed.
+type SweepResult struct {
+	// Scanned is the number of entries and temp files examined.
+	Scanned int `json:"scanned"`
+	// Swept is the number of stale/corrupt entries and orphaned temp files
+	// deleted.
+	Swept int `json:"swept"`
+	// Kept is the number of valid current-version entries left in place.
+	Kept int `json:"kept"`
+}
+
+// String renders the sweep outcome as one log line.
+func (s SweepResult) String() string {
+	return fmt.Sprintf("swept %d of %d cache entries (%d kept)", s.Swept, s.Scanned, s.Kept)
+}
+
+// Sweep deletes entries that can never hit again — version skew from an
+// older cacheVersion and corrupt or truncated JSON — plus temp files
+// orphaned by a crashed writer. Without it stale entries accumulate
+// forever, since Load treats them as silent misses. A missing cache
+// directory sweeps nothing.
+func (c *Cache) Sweep() (SweepResult, error) {
+	var sr SweepResult
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return sr, nil
+		}
+		return sr, err
+	}
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		path := filepath.Join(c.dir, name)
+		if strings.Contains(name, ".tmp-") {
+			sr.Scanned++
+			if err := os.Remove(path); err != nil {
+				return sr, err
+			}
+			sr.Swept++
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		sr.Scanned++
+		raw, readErr := os.ReadFile(path)
+		var entry cacheEntry
+		if readErr == nil && json.Unmarshal(raw, &entry) == nil &&
+			entry.Version == cacheVersion && entry.Result != nil {
+			sr.Kept++
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return sr, err
+		}
+		sr.Swept++
+	}
+	return sr, nil
 }

@@ -36,13 +36,67 @@ type Job struct {
 // Stats counts what the engine did on behalf of its callers.
 type Stats struct {
 	// Submitted is the number of Run/RunAll job submissions.
-	Submitted int
+	Submitted int `json:"submitted"`
 	// Trained is the number of core.Run invocations actually executed.
-	Trained int
+	Trained int `json:"trained"`
 	// Deduped counts submissions satisfied by an identical in-process job.
-	Deduped int
+	Deduped int `json:"deduped"`
 	// CacheHits counts submissions satisfied from the on-disk cache.
-	CacheHits int
+	CacheHits int `json:"cache_hits"`
+}
+
+// EventKind classifies one step of a submission's lifecycle.
+type EventKind int
+
+// Event kinds, in the order a single submission can emit them.
+const (
+	// EventSubmitted fires when a job enters the engine.
+	EventSubmitted EventKind = iota
+	// EventDeduped fires when a submission was satisfied by an identical
+	// in-process job, after that job completes.
+	EventDeduped
+	// EventCacheHit fires when a submission was satisfied from the on-disk
+	// cache.
+	EventCacheHit
+	// EventTrainStart fires when a training acquires a pool slot.
+	EventTrainStart
+	// EventTrainDone fires when a training finishes; Err is non-empty on
+	// failure.
+	EventTrainDone
+)
+
+// String names the kind for logs and API payloads.
+func (k EventKind) String() string {
+	switch k {
+	case EventSubmitted:
+		return "submitted"
+	case EventDeduped:
+		return "deduped"
+	case EventCacheHit:
+		return "cache-hit"
+	case EventTrainStart:
+		return "train-start"
+	case EventTrainDone:
+		return "train-done"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one observable step of the engine's scheduling, the structured
+// counterpart of the progress log: callers that used to scrape log lines
+// subscribe to these instead (Options.OnEvent).
+type Event struct {
+	Kind        EventKind
+	Label       string
+	Fingerprint string
+	// SimSeconds is the simulated training time of the Result the event
+	// delivered (EventDeduped, EventCacheHit, successful EventTrainDone;
+	// zero otherwise).
+	SimSeconds float64
+	// Err carries the failure of an EventTrainDone.
+	Err string
+	// Stats snapshots the engine counters just after the event.
+	Stats Stats
 }
 
 // Options configures an Engine.
@@ -53,15 +107,21 @@ type Options struct {
 	CacheDir string
 	// Log receives per-job progress lines; nil discards them.
 	Log io.Writer
+	// OnEvent, when non-nil, observes every scheduling step. It is invoked
+	// synchronously from scheduling goroutines — possibly several at once —
+	// so it must be fast, internally synchronized, and must not call back
+	// into the engine.
+	OnEvent func(Event)
 }
 
 // Engine is a concurrency-limited, deduplicating scheduler for training
 // jobs. It is safe for concurrent use; one engine is typically shared by
 // every experiment in a process.
 type Engine struct {
-	sem   chan struct{}
-	cache *Cache
-	log   io.Writer
+	sem     chan struct{}
+	cache   *Cache
+	log     io.Writer
+	onEvent func(Event)
 
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -94,8 +154,22 @@ func New(opt Options) *Engine {
 		sem:      make(chan struct{}, opt.Parallelism),
 		cache:    cache,
 		log:      opt.Log,
+		onEvent:  opt.OnEvent,
 		inflight: make(map[string]*call),
 	}
+}
+
+// emit delivers an event to the observer with a fresh counter snapshot. It
+// must never be called with e.mu held (it takes it for the snapshot).
+func (e *Engine) emit(kind EventKind, label, fp string, sim float64, err error) {
+	if e.onEvent == nil {
+		return
+	}
+	ev := Event{Kind: kind, Label: label, Fingerprint: fp, SimSeconds: sim, Stats: e.Stats()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	e.onEvent(ev)
 }
 
 // Run executes one job, deduplicating against identical in-flight or
@@ -109,13 +183,20 @@ func (e *Engine) Run(job Job) (*core.Result, error) {
 	if c, ok := e.inflight[fp]; ok {
 		e.stats.Deduped++
 		e.mu.Unlock()
+		e.emit(EventSubmitted, job.Label, fp, 0, nil)
 		e.logf("engine: %-32s %s deduplicated", job.Label, fp)
 		<-c.done
+		var sim float64
+		if c.res != nil {
+			sim = c.res.SimSeconds
+		}
+		e.emit(EventDeduped, job.Label, fp, sim, c.err)
 		return c.res, c.err
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[fp] = c
 	e.mu.Unlock()
+	e.emit(EventSubmitted, job.Label, fp, 0, nil)
 
 	c.res, c.err = e.execute(job, fp)
 	close(c.done)
@@ -136,6 +217,7 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, error) {
 			e.mu.Lock()
 			e.stats.CacheHits++
 			e.mu.Unlock()
+			e.emit(EventCacheHit, job.Label, fp, res.SimSeconds, nil)
 			e.logf("engine: %-32s %s cache hit", job.Label, fp)
 			return res, nil
 		}
@@ -144,11 +226,14 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, error) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 
+	e.emit(EventTrainStart, job.Label, fp, 0, nil)
 	e.logf("engine: %-32s %s training (%s/%s, %d epochs, world %d)",
 		job.Label, fp, job.Config.ModelName, job.Config.Scheme, job.Config.Epochs, job.Config.World)
-	res, err := core.Run(job.Config)
+	res, err := runConfig(job.Config)
 	if err != nil {
-		return nil, fmt.Errorf("engine: job %s (%s): %w", job.Label, fp, err)
+		err = fmt.Errorf("engine: job %s (%s): %w", job.Label, fp, err)
+		e.emit(EventTrainDone, job.Label, fp, 0, err)
+		return nil, err
 	}
 	e.mu.Lock()
 	e.stats.Trained++
@@ -158,7 +243,21 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, error) {
 			e.logf("engine: %-32s %s cache store failed: %v", job.Label, fp, err)
 		}
 	}
+	e.emit(EventTrainDone, job.Label, fp, res.SimSeconds, nil)
 	return res, nil
+}
+
+// runConfig shields the scheduler from panicking training code (e.g. a
+// config whose world exceeds the topology): the panic becomes a job error,
+// so long-running callers like the serve subsystem fail one job instead of
+// crashing the process.
+func runConfig(cfg core.Config) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("training panicked: %v", r)
+		}
+	}()
+	return core.Run(cfg)
 }
 
 // RunAll executes jobs concurrently (bounded by Parallelism) and returns
@@ -189,6 +288,15 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// SweepCache removes stale and corrupt entries from the on-disk cache (see
+// Cache.Sweep); an engine without a cache sweeps nothing.
+func (e *Engine) SweepCache() (SweepResult, error) {
+	if e.cache == nil {
+		return SweepResult{}, nil
+	}
+	return e.cache.Sweep()
 }
 
 // Summary renders the counters as one progress line.

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pactrain/internal/core"
+)
+
+// eventRecorder collects events from concurrent scheduling goroutines.
+type eventRecorder struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+func (r *eventRecorder) record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evs = append(r.evs, ev)
+}
+
+func (r *eventRecorder) count(kind EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range r.evs {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEventsCoverSubmissionLifecycle(t *testing.T) {
+	t.Parallel()
+	var rec eventRecorder
+	e := New(Options{Parallelism: 2, OnEvent: rec.record})
+	jobs := []Job{
+		{Label: "fig3 a", Config: testConfig("all-reduce")},
+		{Label: "fig3 b", Config: testConfig("all-reduce")},
+		{Label: "fig3 c", Config: testConfig("fp16")},
+	}
+	if _, err := e.RunAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.count(EventSubmitted); got != 3 {
+		t.Fatalf("submitted events = %d, want 3", got)
+	}
+	if got := rec.count(EventTrainStart); got != 2 {
+		t.Fatalf("train-start events = %d, want 2", got)
+	}
+	if got := rec.count(EventTrainDone); got != 2 {
+		t.Fatalf("train-done events = %d, want 2", got)
+	}
+	if got := rec.count(EventDeduped); got != 1 {
+		t.Fatalf("deduped events = %d, want 1", got)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var last Stats
+	for _, ev := range rec.evs {
+		if ev.Fingerprint == "" || ev.Label == "" {
+			t.Fatalf("event missing identity: %+v", ev)
+		}
+		switch ev.Kind {
+		case EventTrainDone, EventDeduped:
+			if ev.Err == "" && ev.SimSeconds <= 0 {
+				t.Fatalf("%s event carries no simulated time: %+v", ev.Kind, ev)
+			}
+		}
+		last = ev.Stats
+	}
+	// The final snapshot must agree with the engine's own counters.
+	if want := e.Stats(); last != want {
+		t.Fatalf("last event stats %+v, engine stats %+v", last, want)
+	}
+}
+
+func TestEventsReportTrainingFailure(t *testing.T) {
+	t.Parallel()
+	var rec eventRecorder
+	e := New(Options{OnEvent: rec.record})
+	if _, err := e.Run(Job{Label: "bad", Config: testConfig("no-such-scheme")}); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	found := false
+	for _, ev := range rec.evs {
+		if ev.Kind == EventTrainDone {
+			found = true
+			if ev.Err == "" {
+				t.Fatalf("failed training emitted no error: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no train-done event for failed job")
+	}
+}
+
+func TestCacheHitEmitsEvent(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	job := Job{Label: "seed", Config: testConfig("all-reduce")}
+	warm := New(Options{CacheDir: dir})
+	if _, err := warm.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	var rec eventRecorder
+	cold := New(Options{CacheDir: dir, OnEvent: rec.record})
+	if _, err := cold.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.count(EventCacheHit); got != 1 {
+		t.Fatalf("cache-hit events = %d, want 1", got)
+	}
+	if got := rec.count(EventTrainStart); got != 0 {
+		t.Fatalf("train-start events = %d, want 0", got)
+	}
+}
+
+func TestSweepRemovesStaleAndCorruptEntries(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c := NewCache(dir)
+
+	// A valid entry, written through the real path.
+	if err := c.Store("valid", testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// A version-skewed entry, a corrupt entry, and an orphaned temp file.
+	writeFile(t, filepath.Join(dir, "stale.json"), `{"version":0,"result":{}}`)
+	writeFile(t, filepath.Join(dir, "corrupt.json"), `{"version":1,`)
+	writeFile(t, filepath.Join(dir, "orphan.tmp-12345"), "partial")
+	// A foreign file the sweep must leave alone.
+	writeFile(t, filepath.Join(dir, "README"), "not a cache entry")
+
+	sr, err := c.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Scanned != 4 || sr.Swept != 3 || sr.Kept != 1 {
+		t.Fatalf("sweep %+v, want 4 scanned / 3 swept / 1 kept", sr)
+	}
+	if _, ok := c.Load("valid"); !ok {
+		t.Fatal("sweep removed the valid entry")
+	}
+	for _, gone := range []string{"stale.json", "corrupt.json", "orphan.tmp-12345"} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived the sweep", gone)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("sweep removed a foreign file")
+	}
+
+	// Idempotent: a second sweep finds only the kept entry.
+	sr, err = c.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Scanned != 1 || sr.Swept != 0 || sr.Kept != 1 {
+		t.Fatalf("second sweep %+v, want 1 scanned / 0 swept / 1 kept", sr)
+	}
+}
+
+func TestSweepMissingDirIsNoop(t *testing.T) {
+	t.Parallel()
+	c := NewCache(filepath.Join(t.TempDir(), "never-created"))
+	sr, err := c.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr != (SweepResult{}) {
+		t.Fatalf("sweep of missing dir %+v, want zero", sr)
+	}
+}
+
+func TestEngineSweepCacheWithoutCache(t *testing.T) {
+	t.Parallel()
+	e := New(Options{})
+	sr, err := e.SweepCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr != (SweepResult{}) {
+		t.Fatalf("cacheless sweep %+v, want zero", sr)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testResult trains the tiny config once per process for cache fixtures.
+var testResult = sync.OnceValue(func() *core.Result {
+	e := New(Options{})
+	res, err := e.Run(Job{Label: "fixture", Config: testConfig("all-reduce")})
+	if err != nil {
+		panic(err)
+	}
+	return res
+})

@@ -1,0 +1,64 @@
+package harness
+
+// Report is a rendered experiment result; every experiment runner returns
+// one alongside its concrete result struct.
+type Report interface {
+	Render() string
+}
+
+// Definition couples an experiment id with the artifact it regenerates and
+// its runner. The table returned by Experiments is the single registry
+// behind `pactrain-bench -exp`, the pactrain facade, and the serve
+// subsystem's POST /v1/experiments — one list to extend when an experiment
+// is added, one id vocabulary everywhere.
+type Definition struct {
+	// ID is the stable identifier ("table1", "fig3", ...).
+	ID string
+	// Title names the paper artifact the experiment regenerates.
+	Title string
+	// Run executes the experiment's job grid under the given options.
+	Run func(Options) (Report, error)
+}
+
+// Experiments lists every runnable experiment in canonical order (the
+// order `-exp all` executes them).
+func Experiments() []Definition {
+	return []Definition{
+		{"table1", "Table 1 — method-property matrix",
+			func(o Options) (Report, error) { return RunTable1(o) }},
+		{"fig3", "Fig. 3 — relative TTA across WAN bandwidths",
+			func(o Options) (Report, error) { return RunFig3(o) }},
+		{"fig5", "Fig. 5 — accuracy-vs-time curves",
+			func(o Options) (Report, error) { return RunFig5(o) }},
+		{"fig6", "Fig. 6 — final accuracy vs pruning ratio",
+			func(o Options) (Report, error) { return RunFig6(o) }},
+		{"ablation-mt", "Mask Tracker stability-window sweep",
+			func(o Options) (Report, error) { return RunAblationMT(o) }},
+		{"ablation-tern", "pruning-only vs pruning+ternary",
+			func(o Options) (Report, error) { return RunAblationTernary(o) }},
+		{"ablation-topo", "Fig. 4 chained switches vs flat switch",
+			func(o Options) (Report, error) { return RunAblationTopo(o) }},
+		{"ablation-varbw", "variable-constrained bottleneck bandwidth",
+			func(o Options) (Report, error) { return RunAblationVarBW(o) }},
+	}
+}
+
+// ExperimentByID looks an experiment up in the registry.
+func ExperimentByID(id string) (Definition, bool) {
+	for _, def := range Experiments() {
+		if def.ID == id {
+			return def, true
+		}
+	}
+	return Definition{}, false
+}
+
+// ExperimentIDs lists the registry's identifiers in canonical order.
+func ExperimentIDs() []string {
+	defs := Experiments()
+	ids := make([]string, len(defs))
+	for i, def := range defs {
+		ids[i] = def.ID
+	}
+	return ids
+}

@@ -1,0 +1,54 @@
+package harness
+
+import "testing"
+
+func TestExperimentRegistry(t *testing.T) {
+	t.Parallel()
+	defs := Experiments()
+	if len(defs) == 0 {
+		t.Fatal("empty experiment registry")
+	}
+	ids := ExperimentIDs()
+	if len(ids) != len(defs) {
+		t.Fatalf("%d ids for %d definitions", len(ids), len(defs))
+	}
+	seen := make(map[string]bool)
+	for i, def := range defs {
+		if def.ID == "" || def.Title == "" || def.Run == nil {
+			t.Fatalf("incomplete definition %+v", def)
+		}
+		if seen[def.ID] {
+			t.Fatalf("duplicate experiment id %q", def.ID)
+		}
+		seen[def.ID] = true
+		if ids[i] != def.ID {
+			t.Fatalf("ids[%d] = %q, want %q", i, ids[i], def.ID)
+		}
+		got, ok := ExperimentByID(def.ID)
+		if !ok || got.ID != def.ID {
+			t.Fatalf("lookup %q failed", def.ID)
+		}
+	}
+	if _, ok := ExperimentByID("no-such-experiment"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestOptionsNormalizedAppliesDefaults(t *testing.T) {
+	t.Parallel()
+	got := Options{Quick: true}.Normalized()
+	if got.World != 8 || got.Samples != 320 || got.Seed != 1 {
+		t.Fatalf("normalized quick options %+v", got)
+	}
+	full := Options{}.Normalized()
+	if full.Samples != 768 {
+		t.Fatalf("normalized full options %+v", full)
+	}
+	// Normalization is what the serve subsystem coalesces by: an explicit
+	// default and an omitted field must produce the same key fields.
+	explicit := Options{Quick: true, World: 8, Samples: 320, Seed: 1}.Normalized()
+	if explicit.Quick != got.Quick || explicit.World != got.World ||
+		explicit.Samples != got.Samples || explicit.Seed != got.Seed {
+		t.Fatalf("explicit defaults normalize differently: %+v vs %+v", explicit, got)
+	}
+}

@@ -94,6 +94,15 @@ type Options struct {
 	Engine *engine.Engine
 }
 
+// Normalized returns the options with every default applied — the
+// canonical form under which two Options describe the same experiment
+// grid. The serve subsystem coalesces identical submissions by comparing
+// the value fields (Quick, World, Samples, Seed) of normalized options.
+func (o Options) Normalized() Options {
+	o.defaults()
+	return o
+}
+
 func (o *Options) defaults() {
 	if o.World == 0 {
 		o.World = 8

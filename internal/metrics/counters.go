@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CounterSet is a small concurrency-safe metric registry that renders in
+// the Prometheus text exposition format. Declare fixes a metric's name,
+// type, and help line up front; Add and Set move values afterwards.
+// Render lists metrics in declaration order, so an exposition endpoint's
+// output is deterministic.
+type CounterSet struct {
+	mu    sync.Mutex
+	order []string
+	m     map[string]*metric
+}
+
+type metric struct {
+	help  string
+	gauge bool
+	value float64
+}
+
+// NewCounterSet builds an empty registry.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]*metric)}
+}
+
+// Declare registers a monotonically increasing counter. Re-declaring a
+// name updates its help text only.
+func (s *CounterSet) Declare(name, help string) {
+	s.declare(name, help, false)
+}
+
+// DeclareGauge registers a gauge (a value that can go down).
+func (s *CounterSet) DeclareGauge(name, help string) {
+	s.declare(name, help, true)
+}
+
+func (s *CounterSet) declare(name, help string, gauge bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.m[name]; ok {
+		m.help = help
+		return
+	}
+	s.m[name] = &metric{help: help, gauge: gauge}
+	s.order = append(s.order, name)
+}
+
+// Add increments a metric; an undeclared name is registered as a counter.
+func (s *CounterSet) Add(name string, delta float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.get(name).value += delta
+}
+
+// Set assigns a metric's value; an undeclared name is registered as a
+// counter.
+func (s *CounterSet) Set(name string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.get(name).value = v
+}
+
+// get fetches or lazily registers a metric; callers hold s.mu.
+func (s *CounterSet) get(name string) *metric {
+	if m, ok := s.m[name]; ok {
+		return m
+	}
+	m := &metric{}
+	s.m[name] = m
+	s.order = append(s.order, name)
+	return m
+}
+
+// Value reads a metric (0 for an unknown name).
+func (s *CounterSet) Value(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.m[name]; ok {
+		return m.value
+	}
+	return 0
+}
+
+// Render emits the registry in the Prometheus text format, metrics in
+// declaration order.
+func (s *CounterSet) Render() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	for _, name := range s.order {
+		m := s.m[name]
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, m.help)
+		}
+		kind := "counter"
+		if m.gauge {
+			kind = "gauge"
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		fmt.Fprintf(&b, "%s %s\n", name, strconv.FormatFloat(m.value, 'g', -1, 64))
+	}
+	return b.String()
+}

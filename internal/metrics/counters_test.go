@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetRendersInDeclarationOrder(t *testing.T) {
+	t.Parallel()
+	s := NewCounterSet()
+	s.Declare("b_total", "second metric")
+	s.DeclareGauge("a_current", "first gauge")
+	s.Add("b_total", 2)
+	s.Set("a_current", 1.5)
+
+	out := s.Render()
+	bi := strings.Index(out, "b_total 2")
+	ai := strings.Index(out, "a_current 1.5")
+	if bi < 0 || ai < 0 {
+		t.Fatalf("missing metric lines:\n%s", out)
+	}
+	if bi > ai {
+		t.Fatalf("declaration order not preserved:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE b_total counter") ||
+		!strings.Contains(out, "# TYPE a_current gauge") ||
+		!strings.Contains(out, "# HELP b_total second metric") {
+		t.Fatalf("missing TYPE/HELP lines:\n%s", out)
+	}
+}
+
+func TestCounterSetLazyRegistrationAndValue(t *testing.T) {
+	t.Parallel()
+	s := NewCounterSet()
+	s.Add("lazy_total", 3)
+	if got := s.Value("lazy_total"); got != 3 {
+		t.Fatalf("Value = %v, want 3", got)
+	}
+	if got := s.Value("unknown"); got != 0 {
+		t.Fatalf("unknown Value = %v, want 0", got)
+	}
+	if !strings.Contains(s.Render(), "lazy_total 3") {
+		t.Fatalf("lazily registered metric not rendered:\n%s", s.Render())
+	}
+}
+
+func TestCounterSetConcurrentAdds(t *testing.T) {
+	t.Parallel()
+	s := NewCounterSet()
+	s.Declare("n_total", "contended counter")
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 1000 {
+				s.Add("n_total", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Value("n_total"); got != 8000 {
+		t.Fatalf("n_total = %v, want 8000", got)
+	}
+}

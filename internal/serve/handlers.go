@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"pactrain/internal/harness"
+)
+
+// Handler routes the service API:
+//
+//	POST /v1/experiments      submit a job (202; coalesces onto in-flight twins)
+//	GET  /v1/experiments      list the experiment registry
+//	GET  /v1/jobs             list jobs in submission order
+//	GET  /v1/jobs/{id}        job status + per-job engine progress
+//	GET  /v1/jobs/{id}/result finished report bytes (CLI -json compatible)
+//	GET  /v1/stats            engine counters, job tallies, recent events
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// submitResponse is the body of POST /v1/experiments.
+type submitResponse struct {
+	// JobID names the job to poll; identical in-flight submissions receive
+	// the same id.
+	JobID string `json:"job_id"`
+	// Coalesced is true when this submission was folded onto an existing
+	// in-flight job rather than creating one.
+	Coalesced bool    `json:"coalesced"`
+	Job       JobView `json:"job"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, coalesced, err := s.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownExperiment):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{JobID: view.ID, Coalesced: coalesced, Job: view})
+}
+
+// experimentView is one registry entry on GET /v1/experiments.
+type experimentView struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	defs := harness.Experiments()
+	out := make([]experimentView, len(defs))
+	for i, def := range defs {
+		out[i] = experimentView{ID: def.ID, Title: def.Title}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	raw, view, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	switch view.State {
+	case JobDone:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, errors.New(view.Error))
+	default:
+		// Not finished: report the state so pollers can keep waiting.
+		writeJSON(w, http.StatusConflict, view)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Refresh the derived metrics from live state; event-driven tallies
+	// (sim-seconds, coalesced, done/failed) are maintained as they happen.
+	st := s.Stats()
+	c := s.counters
+	c.Set("pactrain_serve_jobs_queued", float64(st.Jobs.Queued))
+	c.Set("pactrain_serve_jobs_running", float64(st.Jobs.Running))
+	c.Set("pactrain_engine_jobs_submitted_total", float64(st.Engine.Submitted))
+	c.Set("pactrain_engine_trainings_total", float64(st.Engine.Trained))
+	c.Set("pactrain_engine_deduped_total", float64(st.Engine.Deduped))
+	c.Set("pactrain_engine_cache_hits_total", float64(st.Engine.CacheHits))
+	c.Set("pactrain_serve_sim_seconds_served_total", st.SimSecondsServed)
+	c.Set("pactrain_serve_cache_swept_total", float64(s.sweep.Swept))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(c.Render()))
+}

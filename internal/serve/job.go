@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"pactrain/internal/harness"
+)
+
+// SubmitRequest is the body of POST /v1/experiments: an experiment id plus
+// the harness options that shape its grid. Zero values take the harness
+// defaults (world 8, preset sample counts, seed 1), exactly as the
+// pactrain-bench flags do.
+type SubmitRequest struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	World      int    `json:"world"`
+	Samples    int    `json:"samples"`
+	Seed       uint64 `json:"seed"`
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states, in order.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Progress counts the engine activity attributed to a job while it runs:
+// how many grid cells it submitted and how each was satisfied. Attribution
+// is by experiment id (grid jobs are labelled "<id> ..."), so two
+// concurrently running jobs of the same experiment under different options
+// both observe the combined activity — exact whenever running jobs have
+// distinct experiment ids, which request coalescing makes the common case.
+type Progress struct {
+	Submitted int    `json:"submitted"`
+	Trained   int    `json:"trained"`
+	Deduped   int    `json:"deduped"`
+	CacheHits int    `json:"cache_hits"`
+	LastEvent string `json:"last_event,omitempty"`
+}
+
+// job is the server-side record of one accepted submission.
+type job struct {
+	id  string
+	key string
+	def harness.Definition
+	// opts is the normalized request; Engine and Log are injected at run
+	// time so they never participate in the coalescing key.
+	opts harness.Options
+
+	state     JobState
+	errMsg    string
+	coalesced int // extra submissions folded onto this job
+	progress  Progress
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	resultJSON []byte
+}
+
+// submitKey canonicalizes a request for coalescing: two requests with the
+// same key describe byte-identical reports, so concurrent clients share
+// one job.
+func submitKey(id string, o harness.Options) string {
+	return fmt.Sprintf("%s quick=%t world=%d samples=%d seed=%d",
+		id, o.Quick, o.World, o.Samples, o.Seed)
+}
+
+// JobView is the wire representation of a job for the status endpoints.
+type JobView struct {
+	ID         string   `json:"id"`
+	Experiment string   `json:"experiment"`
+	State      JobState `json:"state"`
+	// Coalesced counts submissions beyond the first that were folded onto
+	// this job while it was in flight.
+	Coalesced  int           `json:"coalesced"`
+	Options    SubmitRequest `json:"options"`
+	Progress   Progress      `json:"progress"`
+	Error      string        `json:"error,omitempty"`
+	QueuedAt   string        `json:"queued_at"`
+	StartedAt  string        `json:"started_at,omitempty"`
+	FinishedAt string        `json:"finished_at,omitempty"`
+}
+
+// view snapshots a job for the API; callers hold the server mutex.
+func (j *job) view() JobView {
+	v := JobView{
+		ID:         j.id,
+		Experiment: j.def.ID,
+		State:      j.state,
+		Coalesced:  j.coalesced,
+		Options: SubmitRequest{
+			Experiment: j.def.ID,
+			Quick:      j.opts.Quick,
+			World:      j.opts.World,
+			Samples:    j.opts.Samples,
+			Seed:       j.opts.Seed,
+		},
+		Progress: j.progress,
+		Error:    j.errMsg,
+		QueuedAt: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}

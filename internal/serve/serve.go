@@ -1,0 +1,470 @@
+// Package serve turns the experiment harness into a long-running service.
+// Where cmd/pactrain-bench builds an engine, prints, and exits — taking its
+// singleflight table and warmed cache with it — a serve.Server owns one
+// shared harness/engine for its whole lifetime and serves experiment
+// artifacts to many concurrent clients over HTTP/JSON:
+//
+//   - POST /v1/experiments submits any registered experiment grid
+//     (harness.Experiments) and returns a job id; identical in-flight
+//     submissions coalesce onto the same job, a request-level singleflight
+//     stacked above the engine's config-level one.
+//   - GET /v1/jobs/{id} polls status and per-job engine progress (derived
+//     from the engine's event stream, not log scraping); GET
+//     /v1/jobs/{id}/result returns the report bytes, identical to
+//     `pactrain-bench -exp <id> -json` output for the same options.
+//   - GET /healthz, GET /v1/stats, and GET /metrics expose liveness, the
+//     engine counters, and a Prometheus-style text exposition.
+//
+// Jobs run on a bounded worker pool above the engine's own training
+// parallelism; Shutdown drains the queue gracefully, finishing accepted
+// jobs while rejecting new submissions.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"pactrain/internal/harness"
+	"pactrain/internal/harness/engine"
+	"pactrain/internal/metrics"
+)
+
+// Submission failure modes the HTTP layer maps to status codes.
+var (
+	// ErrUnknownExperiment rejects ids missing from the registry (400).
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	// ErrDraining rejects submissions during graceful shutdown (503).
+	ErrDraining = errors.New("server is draining")
+	// ErrQueueFull rejects submissions when the job queue is at capacity
+	// (429).
+	ErrQueueFull = errors.New("job queue is full")
+)
+
+// Options configures a Server.
+type Options struct {
+	// Parallelism bounds concurrent trainings inside the engine (min 1).
+	Parallelism int
+	// CacheDir enables the engine's on-disk result cache; it is swept for
+	// stale entries at startup.
+	CacheDir string
+	// Workers bounds concurrently running experiment jobs (default 2).
+	Workers int
+	// QueueDepth bounds accepted-but-unstarted jobs (default 64).
+	QueueDepth int
+	// HistoryLimit bounds retained job records (default 256): once the
+	// server holds more, the oldest finished jobs — and their report bytes
+	// — are evicted, so a long-lived process does not grow without bound.
+	// Queued and running jobs are never evicted.
+	HistoryLimit int
+	// Log receives engine and service progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Server owns the shared engine and the async job queue. Construct with
+// New, expose Handler over HTTP, and stop with Shutdown.
+type Server struct {
+	opt      Options
+	engine   *engine.Engine
+	counters *metrics.CounterSet
+	sweep    engine.SweepResult
+	start    time.Time
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string
+	inflight  map[string]*job // submission key -> queued/running job
+	running   map[string]*job // job id -> running job (event attribution)
+	seq       int
+	queue     chan *job
+	draining  bool
+	recent    []engine.Event
+	simServed float64
+
+	wg sync.WaitGroup
+}
+
+// recentEvents bounds the event ring surfaced on /v1/stats.
+const recentEvents = 32
+
+// syncWriter serializes concurrent jobs' progress lines onto one writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// New builds a server, sweeps the on-disk cache, and starts the worker
+// pool. Callers must eventually call Shutdown.
+func New(opt Options) (*Server, error) {
+	if opt.Parallelism < 1 {
+		opt.Parallelism = 1
+	}
+	if opt.Workers < 1 {
+		opt.Workers = 2
+	}
+	if opt.QueueDepth < 1 {
+		opt.QueueDepth = 64
+	}
+	if opt.HistoryLimit < 1 {
+		opt.HistoryLimit = 256
+	}
+	if opt.Log == nil {
+		opt.Log = io.Discard
+	}
+	opt.Log = &syncWriter{w: opt.Log}
+
+	s := &Server{
+		opt:      opt,
+		counters: metrics.NewCounterSet(),
+		start:    time.Now(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		running:  make(map[string]*job),
+		queue:    make(chan *job, opt.QueueDepth),
+	}
+	s.declareMetrics()
+	s.engine = engine.New(engine.Options{
+		Parallelism: opt.Parallelism,
+		CacheDir:    opt.CacheDir,
+		Log:         opt.Log,
+		OnEvent:     s.onEngineEvent,
+	})
+
+	sweep, err := s.engine.SweepCache()
+	if err != nil {
+		// A failed sweep leaves stale entries behind but the cache still
+		// treats them as misses; serving beats dying.
+		s.logf("serve: cache sweep failed: %v", err)
+	}
+	s.sweep = sweep
+	if opt.CacheDir != "" {
+		s.logf("serve: cache %s: %s", opt.CacheDir, sweep)
+	}
+
+	for range opt.Workers {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.run(j)
+			}
+		}()
+	}
+	return s, nil
+}
+
+func (s *Server) declareMetrics() {
+	c := s.counters
+	c.DeclareGauge("pactrain_serve_jobs_queued", "jobs accepted and waiting for a worker")
+	c.DeclareGauge("pactrain_serve_jobs_running", "jobs currently executing")
+	c.Declare("pactrain_serve_jobs_done_total", "jobs completed successfully")
+	c.Declare("pactrain_serve_jobs_failed_total", "jobs that ended in error")
+	c.Declare("pactrain_serve_jobs_coalesced_total", "submissions folded onto an identical in-flight job")
+	c.Declare("pactrain_engine_jobs_submitted_total", "grid cells submitted to the engine")
+	c.Declare("pactrain_engine_trainings_total", "trainings the engine actually executed")
+	c.Declare("pactrain_engine_deduped_total", "grid cells satisfied by an identical in-process job")
+	c.Declare("pactrain_engine_cache_hits_total", "grid cells satisfied from the on-disk cache")
+	c.Declare("pactrain_serve_sim_seconds_served_total", "simulated training seconds delivered to clients")
+	c.Declare("pactrain_serve_cache_swept_total", "stale or corrupt cache entries removed at startup")
+	c.DeclareGauge("pactrain_serve_draining", "1 while graceful shutdown is in progress")
+}
+
+// Submit validates, coalesces, and enqueues a request. The bool reports
+// whether the submission coalesced onto an existing in-flight job.
+func (s *Server) Submit(req SubmitRequest) (JobView, bool, error) {
+	def, ok := harness.ExperimentByID(req.Experiment)
+	if !ok {
+		return JobView{}, false, fmt.Errorf("%w: %q (valid ids: %s)",
+			ErrUnknownExperiment, req.Experiment, strings.Join(harness.ExperimentIDs(), ", "))
+	}
+	opts := harness.Options{
+		Quick:   req.Quick,
+		World:   req.World,
+		Samples: req.Samples,
+		Seed:    req.Seed,
+	}.Normalized()
+	key := submitKey(def.ID, opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, false, ErrDraining
+	}
+	if j, ok := s.inflight[key]; ok {
+		j.coalesced++
+		s.counters.Add("pactrain_serve_jobs_coalesced_total", 1)
+		return j.view(), true, nil
+	}
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", s.seq),
+		key:     key,
+		def:     def,
+		opts:    opts,
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return JobView{}, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.inflight[key] = j
+	return j.view(), false, nil
+}
+
+// run executes one job on a worker goroutine.
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	s.running[j.id] = j
+	s.mu.Unlock()
+	s.logf("serve: job %s running (%s)", j.id, j.key)
+
+	opts := j.opts
+	opts.Engine = s.engine
+	opts.Log = s.opt.Log
+	opts.Parallelism = s.opt.Parallelism
+	rep, err := j.def.Run(opts)
+	var raw []byte
+	if err == nil {
+		raw, err = harness.ReportJSON(j.def.ID, opts, rep)
+	}
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		s.counters.Add("pactrain_serve_jobs_failed_total", 1)
+	} else {
+		j.state = JobDone
+		// Match the CLI byte-for-byte: pactrain-bench prints the report
+		// followed by one newline.
+		j.resultJSON = append(raw, '\n')
+		s.counters.Add("pactrain_serve_jobs_done_total", 1)
+	}
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	delete(s.running, j.id)
+	s.evictHistory()
+	s.mu.Unlock()
+	s.logf("serve: job %s %s (%.1fs wall)", j.id, j.state, j.finished.Sub(j.started).Seconds())
+}
+
+// evictHistory drops the oldest finished job records — report bytes
+// included — once more than HistoryLimit are retained, so an always-on
+// server's memory stays bounded. Queued and running jobs never evict.
+// Callers hold s.mu.
+func (s *Server) evictHistory() {
+	if len(s.jobs) <= s.opt.HistoryLimit {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) > s.opt.HistoryLimit && (j.state == JobDone || j.state == JobFailed) {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// onEngineEvent is the engine's observer: it feeds the per-job progress
+// counters, the sim-seconds tally, and the recent-event ring. It is called
+// from scheduling goroutines concurrently, never with s.mu held.
+func (s *Server) onEngineEvent(ev engine.Event) {
+	expID, _, _ := strings.Cut(ev.Label, " ")
+	delivered := ev.Err == ""
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recent = append(s.recent, ev)
+	if len(s.recent) > recentEvents {
+		s.recent = s.recent[len(s.recent)-recentEvents:]
+	}
+	if delivered {
+		switch ev.Kind {
+		case engine.EventDeduped, engine.EventCacheHit, engine.EventTrainDone:
+			s.simServed += ev.SimSeconds
+		}
+	}
+	for _, j := range s.running {
+		if j.def.ID != expID {
+			continue
+		}
+		switch ev.Kind {
+		case engine.EventSubmitted:
+			j.progress.Submitted++
+		case engine.EventDeduped:
+			j.progress.Deduped++
+		case engine.EventCacheHit:
+			j.progress.CacheHits++
+		case engine.EventTrainDone:
+			if delivered {
+				j.progress.Trained++
+			}
+		}
+		j.progress.LastEvent = fmt.Sprintf("%s %s", ev.Kind, ev.Label)
+	}
+}
+
+// Job fetches a job snapshot by id.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Result returns a finished job's report bytes.
+func (s *Server) Result(id string) ([]byte, JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobView{}, false
+	}
+	return j.resultJSON, j.view(), true
+}
+
+// EngineStats snapshots the shared engine's counters.
+func (s *Server) EngineStats() engine.Stats { return s.engine.Stats() }
+
+// StatsView is the body of GET /v1/stats.
+type StatsView struct {
+	Engine     engine.Stats       `json:"engine"`
+	CacheSweep engine.SweepResult `json:"cache_sweep"`
+	Jobs       JobCounts          `json:"jobs"`
+	// SimSecondsServed totals the simulated training seconds of every grid
+	// cell delivered to a client (trained, deduplicated, or cache-hit).
+	SimSecondsServed float64 `json:"sim_seconds_served"`
+	Draining         bool    `json:"draining"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	// RecentEvents is the tail of the engine's event stream, newest last.
+	RecentEvents []EventView `json:"recent_events"`
+}
+
+// JobCounts tallies jobs by lifecycle state.
+type JobCounts struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Coalesced int `json:"coalesced"`
+}
+
+// EventView is the wire form of one engine event.
+type EventView struct {
+	Kind        string  `json:"kind"`
+	Label       string  `json:"label"`
+	Fingerprint string  `json:"fingerprint"`
+	SimSeconds  float64 `json:"sim_seconds,omitempty"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// Stats assembles the service-wide status snapshot.
+func (s *Server) Stats() StatsView {
+	est := s.engine.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := StatsView{
+		Engine:           est,
+		CacheSweep:       s.sweep,
+		SimSecondsServed: s.simServed,
+		Draining:         s.draining,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case JobQueued:
+			v.Jobs.Queued++
+		case JobRunning:
+			v.Jobs.Running++
+		case JobDone:
+			v.Jobs.Done++
+		case JobFailed:
+			v.Jobs.Failed++
+		}
+		v.Jobs.Coalesced += j.coalesced
+	}
+	v.RecentEvents = make([]EventView, len(s.recent))
+	for i, ev := range s.recent {
+		v.RecentEvents[i] = EventView{
+			Kind:        ev.Kind.String(),
+			Label:       ev.Label,
+			Fingerprint: ev.Fingerprint,
+			SimSeconds:  ev.SimSeconds,
+			Err:         ev.Err,
+		}
+	}
+	return v
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown begins a graceful drain: new submissions are rejected, every
+// accepted job (running or queued) is finished, and the worker pool exits.
+// It returns ctx.Err() if the context expires first; jobs then keep
+// running to completion in the background.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+		s.counters.Set("pactrain_serve_draining", 1)
+	}
+	s.mu.Unlock()
+	s.logf("serve: draining (finishing accepted jobs)")
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("serve: drained")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	fmt.Fprintf(s.opt.Log, format+"\n", args...)
+}

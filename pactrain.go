@@ -140,15 +140,22 @@ func IterationWireBytes(res *Result) []float64 {
 }
 
 // Report is a rendered experiment result.
-type Report interface {
-	Render() string
-}
+type Report = harness.Report
 
-// ExperimentIDs lists the identifiers Experiment accepts, one per paper
-// artifact plus the ablations (see DESIGN.md §3).
-func ExperimentIDs() []string {
-	return []string{"table1", "fig3", "fig5", "fig6", "ablation-mt", "ablation-tern", "ablation-topo", "ablation-varbw"}
-}
+// ExperimentDef describes one registry entry: an experiment id, the paper
+// artifact it regenerates, and its runner.
+type ExperimentDef = harness.Definition
+
+// ExperimentDefs lists the experiment registry in canonical order — one
+// entry per paper artifact plus the ablations (see DESIGN.md §3). The same
+// table backs the pactrain-bench CLI and the pactrain-serve service.
+func ExperimentDefs() []ExperimentDef { return harness.Experiments() }
+
+// LookupExperiment fetches a registry entry by id.
+func LookupExperiment(id string) (ExperimentDef, bool) { return harness.ExperimentByID(id) }
+
+// ExperimentIDs lists the identifiers Experiment accepts.
+func ExperimentIDs() []string { return harness.ExperimentIDs() }
 
 // Experiment regenerates a paper table/figure (or ablation) by id and
 // returns its report.
@@ -160,25 +167,11 @@ func ExperimentIDs() []string {
 // several Experiment calls so repeated (model, scheme, seed) trainings
 // execute once per process.
 func Experiment(id string, opt Options) (Report, error) {
-	switch id {
-	case "table1":
-		return harness.RunTable1(opt)
-	case "fig3":
-		return harness.RunFig3(opt)
-	case "fig5":
-		return harness.RunFig5(opt)
-	case "fig6":
-		return harness.RunFig6(opt)
-	case "ablation-mt":
-		return harness.RunAblationMT(opt)
-	case "ablation-tern":
-		return harness.RunAblationTernary(opt)
-	case "ablation-topo":
-		return harness.RunAblationTopo(opt)
-	case "ablation-varbw":
-		return harness.RunAblationVarBW(opt)
+	def, ok := harness.ExperimentByID(id)
+	if !ok {
+		return nil, fmt.Errorf("pactrain: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
-	return nil, fmt.Errorf("pactrain: unknown experiment %q (have %v)", id, ExperimentIDs())
+	return def.Run(opt)
 }
 
 // NewExperimentEngine builds the scheduler described by the options; assign
