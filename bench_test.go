@@ -118,6 +118,21 @@ func BenchmarkAblationTopology(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectivesGrid regenerates the collective-algorithm grid and
+// reports the hierarchical-over-ring all-reduce speedup on the two-rack
+// fabric.
+func BenchmarkCollectivesGrid(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunCollectives(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.HierarchicalSpeedup("all-reduce")
+	}
+	b.ReportMetric(speedup, "hier_vs_ring_x")
+}
+
 // --- Micro-benchmarks of the primitives on the critical path ---------------
 
 // BenchmarkRingAllReduce8MiB measures the simulated collective engine

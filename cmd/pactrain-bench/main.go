@@ -12,6 +12,9 @@
 //	pactrain-bench -exp all -parallel 4   # overlap independent trainings
 //	pactrain-bench -exp all -cache .pactrain-cache   # reuse recorded runs
 //	pactrain-bench -exp fig3 -json        # machine-readable report
+//	pactrain-bench -exp collectives       # ring/tree/hierarchical grid
+//	pactrain-bench -exp fig3 -collective hierarchical   # re-price every job
+//	pactrain-bench -list-schemes          # aggregation-scheme catalog
 //
 // Full-fidelity runs train the four lite-twin models for 12 epochs each and
 // take minutes of wall time; -quick substitutes the MLP twin and finishes
@@ -33,22 +36,40 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|collectives|all")
 	quick := flag.Bool("quick", false, "fast settings (MLP twin, smaller sweeps)")
 	world := flag.Int("world", 8, "number of distributed workers")
 	samples := flag.Int("samples", 0, "synthetic training samples (0 = preset default)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	collectiveAlgo := flag.String("collective", "", "collective algorithm for every job: ring|tree|hierarchical (empty = ring)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	parallel := flag.Int("parallel", 1, "concurrent training jobs")
 	cacheDir := flag.String("cache", "", "directory for the on-disk run cache (empty = disabled)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON reports instead of text")
+	listSchemes := flag.Bool("list-schemes", false, "print the aggregation-scheme catalog and exit")
 	flag.Parse()
+
+	if *listSchemes {
+		for _, s := range pactrain.SchemeCatalog() {
+			alias := ""
+			if len(s.Aliases) > 0 {
+				alias = fmt.Sprintf(" (aliases: %s)", strings.Join(s.Aliases, ", "))
+			}
+			fmt.Printf("%-18s %s%s\n", s.Name, s.Description, alias)
+		}
+		return
+	}
+	if _, err := pactrain.CanonicalCollective(*collectiveAlgo); err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	opt := pactrain.Options{
 		Quick:       *quick,
 		World:       *world,
 		Samples:     *samples,
 		Seed:        *seed,
+		Collective:  *collectiveAlgo,
 		Parallelism: *parallel,
 		CacheDir:    *cacheDir,
 	}

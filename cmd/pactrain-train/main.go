@@ -42,6 +42,7 @@ func parseBandwidth(s string) (float64, error) {
 func main() {
 	model := flag.String("model", "ResNet18", "workload: VGG19|ResNet18|ResNet152|ViT-Base-16|MLP")
 	scheme := flag.String("scheme", "pactrain-ternary", "aggregation scheme (see pactrain.Schemes)")
+	collectiveAlgo := flag.String("collective", "", "collective algorithm: ring|tree|hierarchical (empty = ring)")
 	bw := flag.String("bw", "1gbps", "Fig. 4 bottleneck bandwidth, e.g. 100mbps, 500mbps, 1gbps")
 	world := flag.Int("world", 8, "number of workers")
 	epochs := flag.Int("epochs", 12, "training epochs")
@@ -65,6 +66,7 @@ func main() {
 
 	cfg := pactrain.DefaultConfig(*model, *scheme)
 	cfg.World = *world
+	cfg.Collective = *collectiveAlgo
 	cfg.BottleneckBps = bottleneck
 	cfg.Epochs = *epochs
 	cfg.BatchSize = *batch
@@ -100,6 +102,7 @@ func main() {
 
 	fmt.Printf("model        %s\n", res.Model)
 	fmt.Printf("scheme       %s\n", res.Scheme)
+	fmt.Printf("collective   %s\n", res.Collective)
 	fmt.Printf("workers      %d @ %s bottleneck (Fig. 4)\n", *world, *bw)
 	fmt.Printf("iterations   %d over %d epochs\n", res.Iterations, res.EpochsRun)
 	fmt.Printf("final acc    %.3f (best %.3f)\n", res.FinalAcc, res.BestAcc)
@@ -112,7 +115,7 @@ func main() {
 	fmt.Printf("comm time    %s across %d all-reduce / %d all-gather / %d PS ops\n",
 		metrics.FormatSeconds(res.Stats.SimSeconds),
 		res.Stats.AllReduceOps, res.Stats.AllGatherOps, res.Stats.PSOps)
-	fmt.Printf("wire bytes   %s total payload\n", metrics.FormatBytes(res.Stats.PayloadBytes))
+	fmt.Printf("wire bytes   %s logical payload (ring-equivalent volume)\n", metrics.FormatBytes(res.Stats.PayloadBytes))
 	if res.MaskSparsity > 0 {
 		fmt.Printf("mask         %.1f%% pruned, %.1f%% of syncs on compact path\n",
 			res.MaskSparsity*100, res.StableFraction*100)

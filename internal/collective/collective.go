@@ -1,9 +1,11 @@
 // Package collective implements the gradient-aggregation primitives the
-// PacTrain paper builds on: ring all-reduce (reduce-scatter + all-gather),
-// ring all-gather for sparse (value,index) payloads, binomial-tree
-// broadcast, a parameter-server aggregation baseline, and barriers — all
-// executed for real across worker goroutines with every transfer costed
-// through the netsim fabric.
+// PacTrain paper builds on: all-reduce, all-gather for sparse (value,index)
+// payloads, broadcast, a parameter-server aggregation baseline, and
+// barriers — all executed for real across worker goroutines with every
+// transfer costed through the netsim fabric. The symmetric collectives are
+// priced by a pluggable Algorithm (ring, tree, hierarchical — see
+// algorithm.go); the flat ring is the default and reproduces the paper's
+// setup bit-exactly.
 //
 // Timing model. Each collective advances a simulated clock. A collective is
 // a synchronization point, so it starts at the maximum of the participants'
@@ -52,7 +54,14 @@ func (w WireFormat) MessageBytes(n int) float64 {
 	return float64(n)*w.BytesPerElement + w.HeaderBytes
 }
 
-// Stats accumulates per-cluster communication totals.
+// Stats accumulates per-cluster communication totals. The byte counters
+// are the *logical* communication volume of each operation — the
+// ring-equivalent bytes the paper's compression ratios describe — and are
+// deliberately algorithm-independent, so a scheme's volume reads the same
+// under ring, tree, or hierarchical pricing. The bytes a given algorithm
+// actually pushes across each link (leaders send more than members under
+// hierarchical, tree pays fold/unfold copies) live in the fabric's
+// per-link accounting (Fabric.BytesOnLink, Fabric.TotalBytes).
 type Stats struct {
 	AllReduceOps  int
 	AllGatherOps  int
@@ -61,16 +70,19 @@ type Stats struct {
 	BarrierOps    int
 	SimSeconds    float64 // total time spent inside collectives
 	PayloadBytes  float64 // logical payload bytes sent by all workers
-	PerWorkerSent float64 // payload bytes sent by each worker (symmetric ops)
+	PerWorkerSent float64 // logical payload bytes per worker (symmetric ops)
 }
 
 // Cluster coordinates a fixed set of worker goroutines over a fabric. All
 // workers must call the same sequence of collective operations (SPMD), as
-// they would with NCCL.
+// they would with NCCL. The configured Algorithm prices the symmetric
+// collectives; the data plane (what the floats sum to) is identical under
+// every algorithm.
 type Cluster struct {
 	world  int
 	fabric *netsim.Fabric
 	hosts  []netsim.NodeID
+	algo   Algorithm
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -85,13 +97,19 @@ type Cluster struct {
 }
 
 // NewCluster builds a cluster of world workers mapped in rank order onto the
-// fabric's hosts. It panics if the topology has fewer hosts than workers.
+// fabric's hosts, costed with the default ring algorithm. It panics if the
+// topology has fewer hosts than workers.
 func NewCluster(world int, fabric *netsim.Fabric) *Cluster {
+	return NewClusterWith(world, fabric, MustAlgorithm(DefaultAlgorithm))
+}
+
+// NewClusterWith is NewCluster with an explicit collective algorithm.
+func NewClusterWith(world int, fabric *netsim.Fabric, algo Algorithm) *Cluster {
 	hosts := fabric.Topo.Hosts()
 	if len(hosts) < world {
 		panic(fmt.Sprintf("collective: topology has %d hosts for %d workers", len(hosts), world))
 	}
-	c := &Cluster{world: world, fabric: fabric, hosts: hosts[:world],
+	c := &Cluster{world: world, fabric: fabric, hosts: hosts[:world], algo: algo,
 		inputs: make([]any, world), times: make([]float64, world)}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -99,6 +117,9 @@ func NewCluster(world int, fabric *netsim.Fabric) *Cluster {
 
 // World returns the number of workers.
 func (c *Cluster) World() int { return c.world }
+
+// Algorithm returns the collective algorithm pricing this cluster.
+func (c *Cluster) Algorithm() Algorithm { return c.algo }
 
 // Fabric returns the underlying fabric (for accounting inspection).
 func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
@@ -157,13 +178,6 @@ func chunkRange(idx, n, world int) (int, int) {
 	return from, from + size
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // AllReduceSum sums vec elementwise across all workers using a ring
 // all-reduce (reduce-scatter followed by all-gather), overwriting vec with
 // the global sum on every worker. wire selects the on-wire representation;
@@ -182,7 +196,7 @@ func (c *Cluster) AllReduceSum(rank int, vec []float32, wire WireFormat, localTi
 				sum[i] += x
 			}
 		}
-		t := start + CostRingAllReduce(c.fabric, c.hosts, n, wire, start)
+		t := start + c.algo.AllReduce(c.fabric, c.hosts, n, wire, start)
 		if c.world > 1 && n > 0 {
 			c.stats.PerWorkerSent += wire.MessageBytes(n) / float64(c.world) * 2 * float64(c.world-1)
 			c.stats.PayloadBytes += wire.MessageBytes(n) / float64(c.world) * 2 * float64(c.world-1) * float64(c.world)
@@ -217,7 +231,7 @@ func (c *Cluster) AllGatherSparse(rank int, payload SparsePayload, wire WireForm
 			sizes[i] = len(all[i].Values)
 			total += wire.MessageBytes(sizes[i]) * float64(c.world-1)
 		}
-		t := start + CostRingAllGather(c.fabric, c.hosts, sizes, wire, start)
+		t := start + c.algo.AllGather(c.fabric, c.hosts, sizes, wire, start)
 		if c.world > 1 {
 			c.stats.PayloadBytes += total
 			c.stats.PerWorkerSent += total / float64(c.world)
@@ -247,7 +261,7 @@ func (c *Cluster) Broadcast(rank, root int, vec []float32, wire WireFormat, loca
 		t := start
 		if c.world > 1 && len(src) > 0 {
 			msg := wire.MessageBytes(len(src))
-			t += CostBinomialBroadcast(c.fabric, c.hosts, root, msg, start)
+			t += c.algo.Broadcast(c.fabric, c.hosts, root, msg, start)
 			c.stats.PayloadBytes += msg * float64(c.world-1)
 		}
 		c.stats.BroadcastOps++
@@ -310,7 +324,7 @@ func (c *Cluster) BroadcastScaledBitmap(rank, root, n int, wire WireFormat, loca
 		t := start
 		if c.world > 1 && n > 0 {
 			msg := wire.MessageBytes(n)
-			t += CostBinomialBroadcast(c.fabric, c.hosts, root, msg, start)
+			t += c.algo.Broadcast(c.fabric, c.hosts, root, msg, start)
 			c.stats.PayloadBytes += msg * float64(c.world-1)
 		}
 		c.stats.BroadcastOps++

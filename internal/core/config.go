@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"pactrain/internal/collective"
 	"pactrain/internal/data"
 	"pactrain/internal/ddp"
 	"pactrain/internal/netsim"
@@ -44,6 +45,14 @@ type Config struct {
 	// "topk-0.1", "topk-0.01", "dgc-0.01", "terngrad", "qsgd", "thc", "ps",
 	// "omnireduce", "zen", "pactrain", "pactrain-ternary".
 	Scheme string
+
+	// Collective selects the collective algorithm pricing the symmetric
+	// collectives: "ring" (flat ring, the paper's setup and the default for
+	// the empty string), "tree" (recursive halving/doubling), or
+	// "hierarchical" (two-level, racks derived from the topology's switch
+	// structure). The convergence trajectory is algorithm-independent — the
+	// data plane sums identically — so only simulated time changes.
+	Collective string
 
 	// PacTrain parameters (§III).
 	PruneRatio     float64
@@ -130,6 +139,11 @@ func (c *Config) validate() error {
 	if c.Scheme == "" {
 		return fmt.Errorf("core: scheme must be set")
 	}
+	canon, err := collective.CanonicalAlgorithm(c.Collective)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	c.Collective = canon
 	if c.Topology == nil {
 		bw := c.BottleneckBps
 		if bw <= 0 {

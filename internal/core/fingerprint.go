@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+
+	"pactrain/internal/collective"
 )
 
 // Fingerprint returns a deterministic hex digest identifying everything
@@ -48,6 +50,13 @@ func (c *Config) Fingerprint() string {
 	w("test_samples", cp.TestSamples)
 	w("world", cp.World)
 	w("scheme", cp.Scheme)
+	// The collective algorithm changes only the simulated clock, but the
+	// clock is part of the Result, so it keys the cache. validate already
+	// canonicalized "" to "ring"; the ring default is omitted entirely so
+	// pre-existing fingerprints (and warm disk caches) survive unchanged.
+	if cp.Collective != "" && cp.Collective != collective.DefaultAlgorithm {
+		w("collective", cp.Collective)
+	}
 	w("prune_ratio", cp.PruneRatio)
 	w("prune_method", int(cp.PruneMethod))
 	w("pretrain_epochs", cp.PretrainEpochs)

@@ -59,6 +59,15 @@ func TestFingerprintNormalizesDefaults(t *testing.T) {
 	if pt1.Fingerprint() == pt2.Fingerprint() {
 		t.Fatal("prune ratio ignored for a PacTrain scheme")
 	}
+
+	// The ring default is canonicalized away: "", "ring", and the pre-
+	// refactor digests (which had no collective line at all) share one key,
+	// so warm caches survive the collective-algorithm layer.
+	ring1, ring2 := fpConfig(), fpConfig()
+	ring2.Collective = "ring"
+	if ring1.Fingerprint() != ring2.Fingerprint() {
+		t.Fatal("\"\" and \"ring\" collective fingerprint differently")
+	}
 }
 
 // TestFingerprintDistinguishesResultChangingFields flips every config field
@@ -94,7 +103,8 @@ func TestFingerprintDistinguishesResultChangingFields(t *testing.T) {
 		"trace": func(c *Config) {
 			c.Traces = []*netsim.BandwidthTrace{{LinkIndex: 0, Segments: []netsim.TraceSegment{{UntilSec: 1, Scale: 0.5}}}}
 		},
-		"topology": func(c *Config) { c.Topology = netsim.FlatTopology(8, netsim.Gbps, 1e-4) },
+		"topology":   func(c *Config) { c.Topology = netsim.FlatTopology(8, netsim.Gbps, 1e-4) },
+		"collective": func(c *Config) { c.Collective = "hierarchical" },
 	}
 	for name, mutate := range mutations {
 		cfg := fpConfig()

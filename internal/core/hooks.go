@@ -1,15 +1,17 @@
 package core
 
 import (
-	"fmt"
-
 	"pactrain/internal/collective"
 	"pactrain/internal/compress"
 	"pactrain/internal/ddp"
 	"pactrain/internal/masktracker"
 )
 
-// hookEnv is the per-worker context hooks operate in.
+// hookEnv is the per-worker context hooks operate in. Hooks issue
+// collectives against the cluster, which prices them under the config's
+// collective algorithm (Config.Collective); the hook code itself is
+// algorithm-agnostic. buildHook (schemes.go) constructs hooks from the
+// scheme registry.
 type hookEnv struct {
 	cluster *collective.Cluster
 	rank    int
@@ -36,54 +38,6 @@ func (e *hookEnv) scaleWire(w collective.WireFormat) collective.WireFormat {
 		w.BytesPerElement *= e.wireScale
 	}
 	return w
-}
-
-// buildHook constructs the per-worker communication hook for a scheme.
-func buildHook(cfg *Config, env *hookEnv) (ddp.Hook, error) {
-	seed := cfg.Seed*1009 + uint64(env.rank)*31 + 7
-	switch cfg.Scheme {
-	case "all-reduce", "fp32", "none":
-		return &denseHook{env: env, comp: compress.NewFP32()}, nil
-	case "fp16":
-		return &denseHook{env: env, comp: compress.NewFP16()}, nil
-	case "terngrad":
-		return &denseHook{env: env, comp: compress.NewTernGrad(seed)}, nil
-	case "qsgd":
-		return &denseHook{env: env, comp: compress.NewQSGD(256, seed)}, nil
-	case "thc":
-		return &denseHook{env: env, comp: compress.NewTHC(256)}, nil
-	case "ps":
-		return &denseHook{env: env, comp: compress.NewFP32(), forcePS: true}, nil
-	case "topk-0.1":
-		return newSparseHook(env, func() compress.SparseCompressor {
-			return compress.WrapErrorFeedback(compress.NewTopK(0.1))
-		}), nil
-	case "topk-0.01":
-		return newSparseHook(env, func() compress.SparseCompressor {
-			return compress.WrapErrorFeedback(compress.NewTopK(0.01))
-		}), nil
-	case "randomk-0.1":
-		return newSparseHook(env, func() compress.SparseCompressor {
-			return compress.WrapErrorFeedback(compress.NewRandomK(0.1, seed))
-		}), nil
-	case "dgc-0.1":
-		return newSparseHook(env, func() compress.SparseCompressor {
-			return compress.NewDGC(0.1, 0.9)
-		}), nil
-	case "dgc-0.01":
-		return newSparseHook(env, func() compress.SparseCompressor {
-			return compress.NewDGC(0.01, 0.9)
-		}), nil
-	case "omnireduce":
-		return &omniReduceHook{env: env, blockSize: 256}, nil
-	case "zen":
-		return &zenHook{env: env}, nil
-	case "pactrain":
-		return newPacTrainHook(env, cfg, false, seed), nil
-	case "pactrain-ternary":
-		return newPacTrainHook(env, cfg, true, seed), nil
-	}
-	return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)
 }
 
 // --- Dense hooks (all-reduce / PS transports) --------------------------------

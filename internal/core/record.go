@@ -49,15 +49,21 @@ func (l *CommLog) Record(op CommOp) {
 }
 
 // CostIter prices one recorded iteration's communication on the given
-// fabric, starting at time t (bandwidth traces see absolute time).
-func CostIter(ops []CommOp, f *netsim.Fabric, hosts []netsim.NodeID, t float64) float64 {
+// fabric, starting at time t (bandwidth traces see absolute time). alg
+// prices the symmetric collectives; re-costing with the algorithm the run
+// trained under reproduces its clock bit-exactly, and re-costing with a
+// different algorithm reproduces what a training under that algorithm would
+// have recorded — the logged operations (element counts, wire formats) are
+// algorithm-independent. The PS and block-sparse transports are scheme
+// topologies of their own and always price the same way.
+func CostIter(ops []CommOp, alg collective.Algorithm, f *netsim.Fabric, hosts []netsim.NodeID, t float64) float64 {
 	start := t
 	for _, op := range ops {
 		switch op.Kind {
 		case OpAllReduce:
-			t += collective.CostRingAllReduce(f, hosts, op.Elements, op.Wire, t)
+			t += alg.AllReduce(f, hosts, op.Elements, op.Wire, t)
 		case OpAllGather:
-			t += collective.CostRingAllGather(f, hosts, op.Sizes, op.Wire, t)
+			t += alg.AllGather(f, hosts, op.Sizes, op.Wire, t)
 		case OpPS:
 			t += collective.CostPSAggregate(f, hosts, op.Elements, op.Wire, t)
 		case OpBlockSparse:
@@ -67,7 +73,7 @@ func CostIter(ops []CommOp, f *netsim.Fabric, hosts []netsim.NodeID, t float64) 
 			if wire.BytesPerElement == 0 {
 				wire = collective.BitmapWire
 			}
-			t += collective.CostBinomialBroadcast(f, hosts, 0, wire.MessageBytes(op.Elements), t)
+			t += alg.Broadcast(f, hosts, 0, wire.MessageBytes(op.Elements), t)
 		}
 	}
 	return t - start

@@ -20,6 +20,9 @@ import (
 type Result struct {
 	Scheme string
 	Model  string
+	// Collective is the canonical collective-algorithm name the run's
+	// simulated clock was priced under ("ring" unless configured otherwise).
+	Collective string
 
 	// Curve holds rank 0's evaluation trajectory against simulated time.
 	Curve metrics.Curve
@@ -72,7 +75,11 @@ func Run(cfg Config) (*Result, error) {
 	for _, tr := range cfg.Traces {
 		fabric.SetTrace(tr)
 	}
-	cluster := collective.NewCluster(cfg.World, fabric)
+	algo, err := collective.AlgorithmByName(cfg.Collective)
+	if err != nil {
+		return nil, err
+	}
+	cluster := collective.NewClusterWith(cfg.World, fabric, algo)
 
 	// Train and test splits must share class prototypes, so generate one
 	// dataset and split off the tail for evaluation.
@@ -81,7 +88,7 @@ func Run(cfg Config) (*Result, error) {
 	full := data.Generate(fullCfg)
 	trainSet, testSet := data.Split(full, cfg.TestSamples)
 
-	res := &Result{Scheme: cfg.Scheme, Model: cfg.ModelName,
+	res := &Result{Scheme: cfg.Scheme, Model: cfg.ModelName, Collective: cfg.Collective,
 		WeightChecksums: make([]float64, cfg.World)}
 	var log *CommLog
 	if cfg.RecordComm {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"pactrain/internal/collective"
 	"pactrain/internal/data"
 	"pactrain/internal/netsim"
 	"pactrain/internal/nn"
@@ -168,9 +169,10 @@ func TestCommLogRecostMatchesInSitu(t *testing.T) {
 	topo := netsim.FlatTopology(4, netsim.Gbps, 1e-5)
 	fabric := netsim.NewFabric(topo)
 	hosts := topo.Hosts()
+	alg := collective.MustAlgorithm(res.Collective)
 	var total float64
 	for _, ops := range res.CommLog.Iters {
-		total += CostIter(ops, fabric, hosts, total)
+		total += CostIter(ops, alg, fabric, hosts, total)
 	}
 	if math.Abs(total-res.Stats.SimSeconds)/res.Stats.SimSeconds > 1e-6 {
 		t.Fatalf("recost %v vs in-situ %v", total, res.Stats.SimSeconds)

@@ -40,6 +40,8 @@ func Experiments() []Definition {
 			func(o Options) (Report, error) { return RunAblationTopo(o) }},
 		{"ablation-varbw", "variable-constrained bottleneck bandwidth",
 			func(o Options) (Report, error) { return RunAblationVarBW(o) }},
+		{"collectives", "collective-algorithm grid (ring / tree / hierarchical, two-rack fabric)",
+			func(o Options) (Report, error) { return RunCollectives(o) }},
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 
+	"pactrain/internal/collective"
 	"pactrain/internal/core"
 	"pactrain/internal/data"
 	"pactrain/internal/harness/engine"
@@ -77,6 +78,11 @@ type Options struct {
 	Samples int
 	// Seed drives all randomness.
 	Seed uint64
+	// Collective selects the collective algorithm every job config trains
+	// and re-costs under ("ring", "tree", "hierarchical"; empty = ring, the
+	// paper's flat ring and the historical behavior). "ring" normalizes to
+	// empty so both spellings share cache keys and coalesce in the service.
+	Collective string
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 
@@ -97,7 +103,8 @@ type Options struct {
 // Normalized returns the options with every default applied — the
 // canonical form under which two Options describe the same experiment
 // grid. The serve subsystem coalesces identical submissions by comparing
-// the value fields (Quick, World, Samples, Seed) of normalized options.
+// the value fields (Quick, World, Samples, Seed, Collective) of normalized
+// options.
 func (o Options) Normalized() Options {
 	o.defaults()
 	return o
@@ -116,6 +123,9 @@ func (o *Options) defaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Collective == collective.DefaultAlgorithm {
+		o.Collective = ""
 	}
 	if o.Log == nil {
 		o.Log = io.Discard
@@ -184,6 +194,7 @@ func baseConfig(w Workload, scheme string, opt Options) core.Config {
 	cfg.LR = w.LR
 	cfg.TargetAcc = w.TargetAcc
 	cfg.Seed = opt.Seed
+	cfg.Collective = opt.Collective
 	cfg.RecordComm = true
 	cfg.BottleneckBps = 1 * netsim.Gbps
 	// Evaluate twice per epoch so TTA crossings resolve at sub-epoch
@@ -223,18 +234,26 @@ func DisplayName(scheme string) string {
 
 // recostCum rebuilds a recorded run's cumulative simulated clock on an
 // arbitrary fabric (bandwidth traces included): cum[i] is the simulated time
-// after i iterations of compute plus re-priced communication. Because
-// training prices collectives with the same cost functions at the same
-// absolute times, re-costing on a fabric identical to the training fabric
-// reproduces the recorded clock exactly (see TestRecostReproducesTraining).
+// after i iterations of compute plus re-priced communication, under the
+// collective algorithm the run's config names. Because training prices
+// collectives with the same cost functions at the same absolute times,
+// re-costing on a fabric identical to the training fabric reproduces the
+// recorded clock exactly (see TestRecostReproducesTraining).
 func recostCum(res *core.Result, cfg *core.Config, fabric *netsim.Fabric) []float64 {
+	return recostCumWith(collective.MustAlgorithm(cfg.Collective), res, cfg, fabric)
+}
+
+// recostCumWith is recostCum under an explicit collective algorithm — the
+// recorded operations are algorithm-independent, so the collectives
+// experiment prices one training under every algorithm.
+func recostCumWith(alg collective.Algorithm, res *core.Result, cfg *core.Config, fabric *netsim.Fabric) []float64 {
 	hosts := fabric.Topo.Hosts()[:cfg.World]
 	computeIter := cfg.Compute.IterSeconds(cfg.BatchSize)
 	cum := make([]float64, len(res.CommLog.Iters)+1)
 	t := 0.0
 	for i, ops := range res.CommLog.Iters {
 		t += computeIter
-		t += core.CostIter(ops, fabric, hosts, t)
+		t += core.CostIter(ops, alg, fabric, hosts, t)
 		cum[i+1] = t
 	}
 	return cum

@@ -17,6 +17,9 @@ type JSONReport struct {
 	Seed uint64 `json:"seed"`
 	// Quick records whether the fast preset was used.
 	Quick bool `json:"quick"`
+	// Collective records a non-default collective algorithm; omitted for
+	// the ring default so historical report bytes are unchanged.
+	Collective string `json:"collective,omitempty"`
 	// Report is the experiment's result struct.
 	Report any `json:"report"`
 }
@@ -28,6 +31,7 @@ func ReportJSON(id string, opt Options, report any) ([]byte, error) {
 		Experiment: id,
 		Seed:       opt.Seed,
 		Quick:      opt.Quick,
+		Collective: opt.Collective,
 		Report:     report,
 	}, "", "  ")
 	if err != nil {

@@ -199,6 +199,12 @@ func (f *Fabric) linkBandwidthAt(li int, t float64) float64 {
 	return bw
 }
 
+// LinkBandwidthAt returns the effective (trace-scaled) bandwidth of link li
+// at time t — the per-link view contention-aware collective costers need.
+func (f *Fabric) LinkBandwidthAt(li int, t float64) float64 {
+	return f.linkBandwidthAt(li, t)
+}
+
 // PathQuote describes the cost of a transfer path at a point in time.
 type PathQuote struct {
 	BottleneckBps float64
@@ -318,6 +324,75 @@ func FlatTopology(n int, bandwidthBps, latencySec float64) *Topology {
 		t.AddLink(h, sw, bandwidthBps, latencySec)
 	}
 	return t
+}
+
+// TwoRackOptions configures the two-rack fabric used by the collective-
+// algorithm experiments: two switches joined by a single bottleneck link,
+// hosts split as evenly as possible between them.
+type TwoRackOptions struct {
+	// Hosts is the total host count (defaults to 8, split 4+4).
+	Hosts int
+	// BottleneckBps is the inter-switch link speed.
+	BottleneckBps float64
+	// EdgeBps is the host-to-switch bandwidth (defaults to 10 Gbps).
+	EdgeBps float64
+	// LatencySec is the per-link one-way latency (defaults to 100 µs).
+	LatencySec float64
+}
+
+// TwoRackTopology builds the minimal hierarchical fabric: two racks of
+// hosts, each behind its own switch, with one inter-switch link as the only
+// bottleneck. It is the cleanest stage for topology-aware collectives —
+// every inter-rack byte must cross the same slow link.
+//
+//	S1..Sk        Sk+1..Sn
+//	  \|/            \|/
+//	  sw0 —————————— sw1
+//	      (bottleneck)
+func TwoRackTopology(opt TwoRackOptions) *Topology {
+	if opt.Hosts <= 0 {
+		opt.Hosts = 8
+	}
+	if opt.BottleneckBps <= 0 {
+		opt.BottleneckBps = 1 * Gbps
+	}
+	if opt.EdgeBps <= 0 {
+		opt.EdgeBps = 10 * Gbps
+	}
+	if opt.LatencySec <= 0 {
+		opt.LatencySec = 100e-6
+	}
+	t := NewTopology()
+	sw0 := t.AddNode("rack0", Switch)
+	sw1 := t.AddNode("rack1", Switch)
+	firstRack := (opt.Hosts + 1) / 2
+	for i := 0; i < opt.Hosts; i++ {
+		h := t.AddNode(fmt.Sprintf("S%d", i+1), Host)
+		sw := sw0
+		if i >= firstRack {
+			sw = sw1
+		}
+		t.AddLink(h, sw, opt.EdgeBps, opt.LatencySec)
+	}
+	t.AddLink(sw0, sw1, opt.BottleneckBps, opt.LatencySec)
+	return t
+}
+
+// AttachedSwitch returns the first switch adjacent to the node, in link
+// insertion order — the "rack" a host belongs to. ok is false for nodes
+// with no switch neighbor (e.g. hosts wired point-to-point).
+func (t *Topology) AttachedSwitch(n NodeID) (NodeID, bool) {
+	for _, li := range t.adj[n] {
+		l := t.Links[li]
+		other := l.A
+		if other == n {
+			other = l.B
+		}
+		if t.Nodes[other].Kind == Switch {
+			return other, true
+		}
+	}
+	return 0, false
 }
 
 // InterSwitchLinks returns the indices of links whose endpoints are both

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"pactrain/internal/core"
 	"pactrain/internal/harness"
 )
 
@@ -12,6 +13,7 @@ import (
 //
 //	POST /v1/experiments      submit a job (202; coalesces onto in-flight twins)
 //	GET  /v1/experiments      list the experiment registry
+//	GET  /v1/schemes          list the aggregation-scheme catalog
 //	GET  /v1/jobs             list jobs in submission order
 //	GET  /v1/jobs/{id}        job status + per-job engine progress
 //	GET  /v1/jobs/{id}/result finished report bytes (CLI -json compatible)
@@ -22,6 +24,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -65,7 +68,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	view, coalesced, err := s.Submit(req)
 	if err != nil {
 		switch {
-		case errors.Is(err, ErrUnknownExperiment):
+		case errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrUnknownCollective):
 			writeError(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -92,6 +95,12 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 		out[i] = experimentView{ID: def.ID, Title: def.Title}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSchemes serves the aggregation-scheme catalog — the same registry
+// behind Config.Scheme validation and `pactrain-bench -list-schemes`.
+func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, core.SchemeCatalog())
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {

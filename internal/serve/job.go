@@ -17,6 +17,10 @@ type SubmitRequest struct {
 	World      int    `json:"world"`
 	Samples    int    `json:"samples"`
 	Seed       uint64 `json:"seed"`
+	// Collective selects the collective algorithm for every job in the grid
+	// ("ring", "tree", "hierarchical"; empty = ring). "ring" and empty
+	// coalesce onto the same job.
+	Collective string `json:"collective,omitempty"`
 }
 
 // JobState is a job's lifecycle position.
@@ -69,8 +73,8 @@ type job struct {
 // same key describe byte-identical reports, so concurrent clients share
 // one job.
 func submitKey(id string, o harness.Options) string {
-	return fmt.Sprintf("%s quick=%t world=%d samples=%d seed=%d",
-		id, o.Quick, o.World, o.Samples, o.Seed)
+	return fmt.Sprintf("%s quick=%t world=%d samples=%d seed=%d collective=%s",
+		id, o.Quick, o.World, o.Samples, o.Seed, o.Collective)
 }
 
 // JobView is the wire representation of a job for the status endpoints.
@@ -102,6 +106,7 @@ func (j *job) view() JobView {
 			World:      j.opts.World,
 			Samples:    j.opts.Samples,
 			Seed:       j.opts.Seed,
+			Collective: j.opts.Collective,
 		},
 		Progress: j.progress,
 		Error:    j.errMsg,

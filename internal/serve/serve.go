@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"pactrain/internal/collective"
 	"pactrain/internal/harness"
 	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
@@ -38,6 +39,9 @@ import (
 var (
 	// ErrUnknownExperiment rejects ids missing from the registry (400).
 	ErrUnknownExperiment = errors.New("unknown experiment")
+	// ErrUnknownCollective rejects collective-algorithm names missing from
+	// the collective registry (400).
+	ErrUnknownCollective = errors.New("unknown collective algorithm")
 	// ErrDraining rejects submissions during graceful shutdown (503).
 	ErrDraining = errors.New("server is draining")
 	// ErrQueueFull rejects submissions when the job queue is at capacity
@@ -187,11 +191,16 @@ func (s *Server) Submit(req SubmitRequest) (JobView, bool, error) {
 		return JobView{}, false, fmt.Errorf("%w: %q (valid ids: %s)",
 			ErrUnknownExperiment, req.Experiment, strings.Join(harness.ExperimentIDs(), ", "))
 	}
+	if _, err := collective.CanonicalAlgorithm(req.Collective); err != nil {
+		return JobView{}, false, fmt.Errorf("%w: %q (valid names: %s)",
+			ErrUnknownCollective, req.Collective, strings.Join(collective.AlgorithmNames(), ", "))
+	}
 	opts := harness.Options{
-		Quick:   req.Quick,
-		World:   req.World,
-		Samples: req.Samples,
-		Seed:    req.Seed,
+		Quick:      req.Quick,
+		World:      req.World,
+		Samples:    req.Samples,
+		Seed:       req.Seed,
+		Collective: req.Collective,
 	}.Normalized()
 	key := submitKey(def.ID, opts)
 

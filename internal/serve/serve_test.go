@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"pactrain/internal/core"
 	"pactrain/internal/harness"
 	"pactrain/internal/harness/engine"
 )
@@ -300,6 +301,70 @@ func TestSubmitValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown field status %d, want 400", resp.StatusCode)
 	}
+
+	req := testRequest("fig3")
+	req.Collective = "butterfly"
+	resp, raw = postJSON(t, ts.URL+"/v1/experiments", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown collective status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "hierarchical") {
+		t.Fatalf("rejection does not list valid collective names: %s", raw)
+	}
+}
+
+// TestSchemesEndpointAndCollectiveCoalescing covers the scheme catalog and
+// the collective dimension of the submission key: "ring" and the empty
+// default coalesce onto one job, while a distinct algorithm gets its own.
+func TestSchemesEndpointAndCollectiveCoalescing(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	code, schemes := getJSON[[]core.SchemeInfo](t, ts.URL+"/v1/schemes")
+	if code != http.StatusOK || len(schemes) != len(core.Schemes()) {
+		t.Fatalf("schemes = %d entries (status %d), want %d", len(schemes), code, len(core.Schemes()))
+	}
+	for i, name := range core.Schemes() {
+		if schemes[i].Name != name || schemes[i].Description == "" {
+			t.Fatalf("scheme entry %d = %+v, want name %q with a description", i, schemes[i], name)
+		}
+	}
+
+	// Saturate the single worker so subsequent submissions stay queued and
+	// coalescible while we compare their job ids. ablation-tern and
+	// ablation-topo are the registry's lightest grids (two tiny trainings
+	// each, one shared through the engine), keeping the race lane fast.
+	blocker, _ := postJSON(t, ts.URL+"/v1/experiments", testRequest("ablation-tern"))
+	if blocker.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d", blocker.StatusCode)
+	}
+	submit := func(collective string) submitResponse {
+		req := testRequest("ablation-topo")
+		req.Collective = collective
+		resp, raw := postJSON(t, ts.URL+"/v1/experiments", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit(collective=%q) status %d: %s", collective, resp.StatusCode, raw)
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(raw, &sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	def := submit("")
+	ring := submit("ring")
+	if ring.JobID != def.JobID || !ring.Coalesced {
+		t.Fatalf("\"ring\" did not coalesce onto the empty default: %+v vs %+v", ring, def)
+	}
+	hier := submit("hierarchical")
+	if hier.JobID == def.JobID {
+		t.Fatal("hierarchical submission coalesced onto the ring job")
+	}
+	if hier.Job.Options.Collective != "hierarchical" {
+		t.Fatalf("job view lost the collective: %+v", hier.Job.Options)
+	}
+	waitForState(t, ts.URL, hier.JobID, JobDone)
+	waitForState(t, ts.URL, def.JobID, JobDone)
 }
 
 func TestQueueFullRejectsSubmission(t *testing.T) {

@@ -21,6 +21,7 @@ package pactrain
 import (
 	"fmt"
 
+	"pactrain/internal/collective"
 	"pactrain/internal/compress"
 	"pactrain/internal/core"
 	"pactrain/internal/data"
@@ -82,13 +83,26 @@ func Train(cfg Config) (*Result, error) {
 	return core.Run(cfg)
 }
 
-// Schemes lists every aggregation scheme Train accepts.
-func Schemes() []string {
-	return []string{
-		"all-reduce", "fp16", "terngrad", "qsgd", "thc", "ps",
-		"topk-0.1", "topk-0.01", "randomk-0.1", "dgc-0.1", "dgc-0.01",
-		"omnireduce", "zen", "pactrain", "pactrain-ternary",
-	}
+// Schemes lists every aggregation scheme Train accepts, in the scheme
+// registry's canonical order.
+func Schemes() []string { return core.Schemes() }
+
+// SchemeInfo is one scheme-catalog entry (name, description, aliases).
+type SchemeInfo = core.SchemeInfo
+
+// SchemeCatalog lists every scheme with its description — the table behind
+// `pactrain-bench -list-schemes` and the service's GET /v1/schemes.
+func SchemeCatalog() []SchemeInfo { return core.SchemeCatalog() }
+
+// CollectiveAlgorithms lists the registered collective algorithms
+// (Config.Collective vocabulary), the default ring first.
+func CollectiveAlgorithms() []string { return collective.AlgorithmNames() }
+
+// CanonicalCollective normalizes a collective-algorithm selector (the empty
+// string canonicalizes to "ring") and errors on unknown names with the
+// valid vocabulary.
+func CanonicalCollective(name string) (string, error) {
+	return collective.CanonicalAlgorithm(name)
 }
 
 // NewCompressor constructs a gradient compressor by figure name (e.g.
@@ -107,6 +121,13 @@ func Fig4Topology(bottleneckBps float64) *Topology {
 // FlatTopology builds n hosts on one switch at uniform link speed.
 func FlatTopology(n int, bandwidthBps float64) *Topology {
 	return netsim.FlatTopology(n, bandwidthBps, 1e-4)
+}
+
+// TwoRackTopology builds n hosts split across two switches joined by a
+// single bottleneck link — the minimal fabric where the hierarchical
+// collective algorithm pays off.
+func TwoRackTopology(n int, bottleneckBps float64) *Topology {
+	return netsim.TwoRackTopology(netsim.TwoRackOptions{Hosts: n, BottleneckBps: bottleneckBps})
 }
 
 // PaperWorkloads returns the four evaluation models with calibrated
