@@ -13,8 +13,10 @@
 //	pactrain-bench -exp all -cache .pactrain-cache   # reuse recorded runs
 //	pactrain-bench -exp fig3 -json        # machine-readable report
 //	pactrain-bench -exp collectives       # ring/tree/hierarchical grid
+//	pactrain-bench -exp adaptive          # online controller vs static formats
 //	pactrain-bench -exp fig3 -collective hierarchical   # re-price every job
 //	pactrain-bench -list-schemes          # aggregation-scheme catalog
+//	pactrain-bench -list-collectives      # collective-algorithm catalog
 //
 // Full-fidelity runs train the four lite-twin models for 12 epochs each and
 // take minutes of wall time; -quick substitutes the MLP twin and finishes
@@ -36,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|collectives|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|collectives|adaptive|all")
 	quick := flag.Bool("quick", false, "fast settings (MLP twin, smaller sweeps)")
 	world := flag.Int("world", 8, "number of distributed workers")
 	samples := flag.Int("samples", 0, "synthetic training samples (0 = preset default)")
@@ -47,6 +49,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "directory for the on-disk run cache (empty = disabled)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON reports instead of text")
 	listSchemes := flag.Bool("list-schemes", false, "print the aggregation-scheme catalog and exit")
+	listCollectives := flag.Bool("list-collectives", false, "print the collective-algorithm catalog and exit")
 	flag.Parse()
 
 	if *listSchemes {
@@ -56,6 +59,12 @@ func main() {
 				alias = fmt.Sprintf(" (aliases: %s)", strings.Join(s.Aliases, ", "))
 			}
 			fmt.Printf("%-18s %s%s\n", s.Name, s.Description, alias)
+		}
+		return
+	}
+	if *listCollectives {
+		for _, a := range pactrain.CollectiveCatalog() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Description)
 		}
 		return
 	}

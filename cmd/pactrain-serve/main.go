@@ -43,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrently running experiment jobs")
 	queueDepth := flag.Int("queue", 64, "accepted-but-unstarted job limit")
 	history := flag.Int("history", 256, "retained finished-job records (oldest evict past this)")
+	memoLimit := flag.Int("memo-limit", 0, "in-memory trained-result memo bound; disk-persisted entries evict past this (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Minute, "how long shutdown waits for accepted jobs")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 	s, err := serve.New(serve.Options{
 		Parallelism:  *parallel,
 		CacheDir:     *cacheDir,
+		MemoLimit:    *memoLimit,
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
 		HistoryLimit: *history,

@@ -8,6 +8,7 @@
 //
 //	pactrain-topo -bw 100mbps
 //	pactrain-topo -topology flat -world 4 -bw 1gbps
+//	pactrain-topo -collective hierarchical -bw 100mbps
 package main
 
 import (
@@ -46,9 +47,15 @@ func main() {
 	bw := flag.String("bw", "1gbps", "bottleneck (fig4) or uniform (flat) bandwidth")
 	world := flag.Int("world", 8, "worker count")
 	batch := flag.Int("batch", 32, "per-GPU batch size for the compute estimate")
+	collectiveAlgo := flag.String("collective", "", "collective algorithm pricing the estimates: ring|tree|hierarchical (empty = ring)")
 	flag.Parse()
 
 	bandwidth, err := parseBandwidth(*bw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-topo: %v\n", err)
+		os.Exit(1)
+	}
+	algo, err := collective.AlgorithmByName(*collectiveAlgo)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pactrain-topo: %v\n", err)
 		os.Exit(1)
@@ -91,14 +98,17 @@ func main() {
 			metrics.FormatSeconds(dt))
 	}
 
-	fmt.Printf("\nper-iteration gradient synchronization estimates:\n")
-	tb := metrics.NewTable("", "model", "grad size", "ring all-reduce", "PS", "PacTrain(0.5)+ternary", "compute/iter")
+	fmt.Printf("\nper-iteration gradient synchronization estimates (%s collective):\n", algo.Name())
+	tb := metrics.NewTable("", "model", "grad size", algo.Name()+" all-reduce", "PS", "PacTrain(0.5)+ternary", "compute/iter")
 	for _, prof := range nn.Profiles() {
 		n := int(prof.Params)
 		fresh := func() *netsim.Fabric { return netsim.NewFabric(topo) }
-		ar := collective.CostRingAllReduce(fresh(), hosts, n, collective.WireFP32, 0)
+		// The symmetric collectives price under the selected algorithm; the
+		// parameter server is a scheme topology of its own and always
+		// prices the same way (see collective.Algorithm).
+		ar := algo.AllReduce(fresh(), hosts, n, collective.WireFP32, 0)
 		ps := collective.CostPSAggregate(fresh(), hosts, n, collective.WireFP32, 0)
-		pac := collective.CostRingAllReduce(fresh(), hosts, n/2, collective.WireInt8, 0)
+		pac := algo.AllReduce(fresh(), hosts, n/2, collective.WireInt8, 0)
 		iterCompute := float64(prof.FLOPsPerSample) * float64(*batch) * 3 / (37.4e12 * 0.35)
 		tb.AddRow(prof.Name,
 			metrics.FormatBytes(float64(prof.GradBytes())),

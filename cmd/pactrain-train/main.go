@@ -8,6 +8,7 @@
 //	pactrain-train -model ResNet152 -scheme pactrain-ternary -bw 100mbps
 //	pactrain-train -model VGG19 -scheme topk-0.01 -epochs 8 -world 4
 //	pactrain-train -model MLP -scheme all-reduce -csv
+//	pactrain-train -scheme adaptive -adapt-margin 0.1 -adapt-candidates mask-compact-ternary,index-list
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"pactrain"
+	"pactrain/internal/adaptive"
 	"pactrain/internal/metrics"
 )
 
@@ -56,6 +58,9 @@ func main() {
 	target := flag.Float64("target", 0.8, "target accuracy for TTA")
 	seed := flag.Uint64("seed", 1, "run seed")
 	csv := flag.Bool("csv", false, "emit the accuracy curve as CSV")
+	adaptMargin := flag.Float64("adapt-margin", 0, "adaptive scheme: hysteresis win margin (0 = default)")
+	adaptDwell := flag.Int("adapt-dwell", 0, "adaptive scheme: challenger rounds before a format switch (0 = default)")
+	adaptCandidates := flag.String("adapt-candidates", "", "adaptive scheme: comma-separated candidate formats (empty = all)")
 	flag.Parse()
 
 	bottleneck, err := parseBandwidth(*bw)
@@ -77,6 +82,11 @@ func main() {
 	cfg.Data.Samples = *samples
 	cfg.TargetAcc = *target
 	cfg.Seed = *seed
+	cfg.AdaptMargin = *adaptMargin
+	cfg.AdaptDwell = *adaptDwell
+	if *adaptCandidates != "" {
+		cfg.AdaptCandidates = strings.Split(*adaptCandidates, ",")
+	}
 	switch *pruneMethod {
 	case "global-magnitude":
 		cfg.PruneMethod = pactrain.GlobalMagnitude
@@ -119,6 +129,10 @@ func main() {
 	if res.MaskSparsity > 0 {
 		fmt.Printf("mask         %.1f%% pruned, %.1f%% of syncs on compact path\n",
 			res.MaskSparsity*100, res.StableFraction*100)
+	}
+	if len(res.AdaptiveDecisions) > 0 {
+		fmt.Printf("decisions    %s (%d switches)\n",
+			adaptive.SummarizeCounts(res.AdaptiveDecisions), res.AdaptiveSwitches)
 	}
 	fmt.Printf("wall time    %.1fs\n", res.WallSeconds)
 }

@@ -1,0 +1,93 @@
+// Adaptive-controller demo: the paper's titular adaptivity in action. A
+// WAN-latency Fig. 4 fabric oscillates its bottleneck between full speed
+// and a 10× dip; the adaptive scheme's controller prices dense fp32,
+// mask-compact, mask-compact-ternary, and the COO index-list every round
+// and rides the cheapest. At full bandwidth the latency term dominates and
+// the index-list's shorter ring wins the small bucket; in the dips the byte
+// volume dominates and ternary takes over — so the controller switches
+// formats mid-run and beats every statically chosen format.
+//
+//	go run ./examples/adaptive-demo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pactrain"
+	"pactrain/internal/adaptive"
+	"pactrain/internal/metrics"
+	"pactrain/internal/netsim"
+)
+
+func config(candidates []string) pactrain.Config {
+	cfg := pactrain.DefaultConfig("MLP", "adaptive")
+	cfg.World = 4
+	cfg.Lite.Width = 8
+	cfg.Data.Samples = 320
+	cfg.Epochs = 6
+	cfg.BatchSize = 8
+	cfg.TargetAcc = 0.70
+	cfg.Seed = 3
+	cfg.AdaptCandidates = candidates
+
+	// The Fig. 4 fabric at WAN latency (5 ms/link) with the bottleneck
+	// links oscillating 1.0 ↔ 0.1× every two simulated seconds.
+	topo := netsim.Fig4Topology(netsim.Fig4Options{
+		BottleneckBps: 500 * pactrain.Mbps, LatencySec: 5e-3,
+	})
+	cfg.Topology = topo
+	var segs []netsim.TraceSegment
+	for k := 0; k < 256; k++ {
+		scale := 1.0
+		if k%2 == 1 {
+			scale = 0.1
+		}
+		segs = append(segs, netsim.TraceSegment{UntilSec: float64(k+1) * 2, Scale: scale})
+	}
+	segs = append(segs, netsim.TraceSegment{UntilSec: math.Inf(1), Scale: 1})
+	for _, li := range topo.InterSwitchLinks() {
+		cfg.Traces = append(cfg.Traces, &netsim.BandwidthTrace{LinkIndex: li, Segments: segs})
+	}
+	return cfg
+}
+
+func main() {
+	fmt.Println("adaptive controller vs static wire formats")
+	fmt.Println("fabric: Fig. 4 @ 500 Mbps bottleneck, 5 ms/link, 10× dips every 2 s")
+	fmt.Println()
+	fmt.Printf("%-28s %10s %10s  %s\n", "scheme", "TTA(70%)", "final acc", "controller decisions")
+
+	rows := [][]string{nil} // nil = the full candidate set: the controller decides
+	for _, f := range adaptive.Formats() {
+		rows = append(rows, []string{f})
+	}
+	for _, candidates := range rows {
+		cfg := config(candidates)
+		res, err := pactrain.Train(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "adaptive (controller)"
+		if len(candidates) == 1 {
+			name = "static " + candidates[0]
+		}
+		tta, reached := res.Curve.TTA(cfg.TargetAcc)
+		ttaStr := metrics.FormatSeconds(tta)
+		if !reached {
+			ttaStr = ">" + ttaStr
+		}
+		decisions := ""
+		if len(candidates) != 1 {
+			decisions = fmt.Sprintf("%s, %d switches",
+				adaptive.SummarizeCounts(res.AdaptiveDecisions), res.AdaptiveSwitches)
+		}
+		fmt.Printf("%-28s %10s %10.3f  %s\n", name, ttaStr, res.FinalAcc, decisions)
+	}
+
+	fmt.Println()
+	fmt.Println("The controller matches the best static format where one format")
+	fmt.Println("dominates, and beats them all when the oscillation straddles the")
+	fmt.Println("crossover — no static choice is right in both trace phases.")
+}

@@ -28,6 +28,9 @@ import (
 type Algorithm interface {
 	// Name is the registry identifier ("ring", "tree", "hierarchical").
 	Name() string
+	// Description is a one-line summary for the catalog surfaces
+	// (`pactrain-bench -list-collectives`, GET /v1/collectives).
+	Description() string
 	// AllReduce prices summing n elements across hosts.
 	AllReduce(f *netsim.Fabric, hosts []netsim.NodeID, n int, wire WireFormat, t float64) float64
 	// AllGather prices exchanging per-host payloads of sizes[i] elements so
@@ -68,6 +71,25 @@ func AlgorithmNames() []string {
 	defer algoMu.RUnlock()
 	out := make([]string, len(algoIDs))
 	copy(out, algoIDs)
+	return out
+}
+
+// AlgorithmInfo is one catalog entry for the algorithm listing surfaces,
+// mirroring core.SchemeInfo for schemes.
+type AlgorithmInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// AlgorithmCatalog lists every registered algorithm with its description,
+// in registration order (ring first, the default).
+func AlgorithmCatalog() []AlgorithmInfo {
+	algoMu.RLock()
+	defer algoMu.RUnlock()
+	out := make([]AlgorithmInfo, len(algoIDs))
+	for i, id := range algoIDs {
+		out[i] = AlgorithmInfo{Name: id, Description: algoByID[id].Description()}
+	}
 	return out
 }
 
@@ -209,6 +231,10 @@ type ringAlgorithm struct{}
 
 func (ringAlgorithm) Name() string { return "ring" }
 
+func (ringAlgorithm) Description() string {
+	return "flat ring reduce-scatter + all-gather, the paper's setup and the default"
+}
+
 func (ringAlgorithm) AllReduce(f *netsim.Fabric, hosts []netsim.NodeID, n int, wire WireFormat, t float64) float64 {
 	return CostRingAllReduce(f, hosts, n, wire, t)
 }
@@ -232,6 +258,10 @@ func (ringAlgorithm) Broadcast(f *netsim.Fabric, hosts []netsim.NodeID, root int
 type treeAlgorithm struct{}
 
 func (treeAlgorithm) Name() string { return "tree" }
+
+func (treeAlgorithm) Description() string {
+	return "recursive halving/doubling all-reduce, binomial gather+broadcast (small-message regime)"
+}
 
 func (treeAlgorithm) AllReduce(f *netsim.Fabric, hosts []netsim.NodeID, n int, wire WireFormat, t float64) float64 {
 	return CostTreeAllReduce(f, hosts, n, wire, t)
@@ -392,6 +422,10 @@ func CostTreeAllGather(f *netsim.Fabric, hosts []netsim.NodeID, sizes []int, wir
 type hierarchicalAlgorithm struct{}
 
 func (hierarchicalAlgorithm) Name() string { return "hierarchical" }
+
+func (hierarchicalAlgorithm) Description() string {
+	return "two-level rack-aware aggregation: intra-rack rings, leaders-only across the bottleneck"
+}
 
 // Racks groups host ranks by attached switch, in first-appearance order;
 // rank order is preserved inside each rack, and a host with no switch

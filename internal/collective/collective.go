@@ -124,6 +124,15 @@ func (c *Cluster) Algorithm() Algorithm { return c.algo }
 // Fabric returns the underlying fabric (for accounting inspection).
 func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
 
+// Hosts returns the fabric hosts the workers are mapped onto, in rank
+// order. The slice is a copy; callers pricing hypothetical collectives (the
+// adaptive controller) may retain it.
+func (c *Cluster) Hosts() []netsim.NodeID {
+	out := make([]netsim.NodeID, len(c.hosts))
+	copy(out, c.hosts)
+	return out
+}
+
 // Stats returns a snapshot of the accumulated statistics.
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()

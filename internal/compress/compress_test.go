@@ -337,6 +337,24 @@ func TestMaskCompactRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMaskCompactEncodeSparse(t *testing.T) {
+	m := NewMaskCompact(false, 1)
+	keep := []bool{true, false, false, true, true, false}
+	m.SetMask(MaskIndices(keep), 6)
+	vals, idx := m.EncodeSparse([]float32{1, 99, 98, 0, 5, 97})
+	if len(vals) != 3 || len(idx) != 3 {
+		t.Fatalf("COO lengths %d/%d, want 3/3", len(vals), len(idx))
+	}
+	// In-mask zeros ride along: the payload length is always NNZ, so every
+	// replica ships the same size and the controller's quote is exact.
+	if vals[0] != 1 || vals[1] != 0 || vals[2] != 5 {
+		t.Fatalf("COO values %v", vals)
+	}
+	if idx[0] != 0 || idx[1] != 3 || idx[2] != 4 {
+		t.Fatalf("COO indices %v", idx)
+	}
+}
+
 func TestMaskCompactCompressionRatio(t *testing.T) {
 	m := NewMaskCompact(false, 1)
 	keep := make([]bool, 1000)

@@ -115,6 +115,26 @@ func (m *MaskCompact) Decode(payload []float32, out []float32) {
 	}
 }
 
+// EncodeSparse gathers the retained coordinates as a COO (values, indices)
+// pair — the index-list wire format the adaptive controller can pick when
+// latency, not bytes, bounds the round. The index slice is the installed
+// mask and must not be mutated; values include in-mask zeros, so the
+// payload length is always NNZ (replica-identical, and exactly what the
+// controller's quote priced).
+func (m *MaskCompact) EncodeSparse(grad []float32) ([]float32, []int32) {
+	if !m.maskSet {
+		panic("compress: MaskCompact.EncodeSparse before SetMask")
+	}
+	if len(grad) != m.fullLen {
+		panic(fmt.Sprintf("compress: gradient length %d does not match mask domain %d", len(grad), m.fullLen))
+	}
+	vals := make([]float32, len(m.indices))
+	for i, j := range m.indices {
+		vals[i] = grad[j]
+	}
+	return vals, m.indices
+}
+
 // CompressionRatio returns wire bytes relative to dense fp32 for the
 // installed mask.
 func (m *MaskCompact) CompressionRatio() float64 {

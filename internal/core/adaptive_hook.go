@@ -1,0 +1,158 @@
+package core
+
+import (
+	"pactrain/internal/adaptive"
+	"pactrain/internal/collective"
+	"pactrain/internal/compress"
+	"pactrain/internal/ddp"
+	"pactrain/internal/masktracker"
+)
+
+// adaptiveHook is the "adaptive" scheme: PacTrain's pruning pipeline with a
+// cost-model-driven controller (internal/adaptive) choosing the wire format
+// per bucket per round instead of a fixed compact path. While a bucket's
+// sparsity pattern is unstable it behaves exactly like pacTrainHook (full
+// fp32 sync plus the bitmap re-share on pattern moves); once stable, every
+// round prices dense fp32, mask-compact fp32, mask-compact ternary, and the
+// COO index-list against the live fabric and takes the cheapest with
+// hysteresis.
+//
+// Lockstep: every input to a decision — bucket size, the tracker's mask
+// (driven by aggregated gradients), and the synchronized simulated clock —
+// is replica-identical, so all ranks pick the same format with zero
+// consensus traffic.
+type adaptiveHook struct {
+	env  *hookEnv
+	ctrl *adaptive.Controller
+	seed uint64
+
+	window   int
+	trackers map[int]*masktracker.Tracker
+	compacts map[int]*compress.MaskCompact
+	// pendingBitmap marks buckets whose mask changed last iteration and owe
+	// a bitmap broadcast with the next full sync.
+	pendingBitmap map[int]bool
+	observed      map[int]bool
+
+	// Telemetry.
+	CompactSyncs int // controller-driven rounds
+	FullSyncs    int // forced full syncs while unstable
+}
+
+func newAdaptiveHook(env *hookEnv, cfg *Config, seed uint64) *adaptiveHook {
+	ctrl := adaptive.New(adaptive.Options{
+		Margin:     cfg.AdaptMargin,
+		Dwell:      cfg.AdaptDwell,
+		Candidates: cfg.AdaptCandidates,
+		Algorithm:  env.cluster.Algorithm(),
+		Fabric:     env.cluster.Fabric(),
+		Hosts:      env.cluster.Hosts(),
+		WireScale:  env.wireScale,
+	})
+	return &adaptiveHook{
+		env: env, ctrl: ctrl, seed: seed, window: cfg.StableWindow,
+		trackers:      make(map[int]*masktracker.Tracker),
+		compacts:      make(map[int]*compress.MaskCompact),
+		pendingBitmap: make(map[int]bool),
+		observed:      make(map[int]bool),
+	}
+}
+
+// Name implements ddp.Hook.
+func (*adaptiveHook) Name() string { return SchemeAdaptive }
+
+// Sync implements ddp.Hook.
+func (h *adaptiveHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
+	tr := h.trackers[b.Index]
+	if tr == nil {
+		tr = masktracker.New(h.window)
+		h.trackers[b.Index] = tr
+	}
+
+	if tr.Stable() {
+		mc := h.compacts[b.Index]
+		if mc == nil || !mc.HasMask() {
+			mc = compress.NewMaskCompact(false, h.seed*131+uint64(b.Index))
+			mc.SetMask(tr.Indices(), b.Elements())
+			h.compacts[b.Index] = mc
+		}
+		dec := h.ctrl.Decide(b.Index, b.Elements(), mc.NNZ(), localTime)
+		h.CompactSyncs++
+		switch dec.Format {
+		case adaptive.FormatDense:
+			wire := h.env.scaleWire(collective.WireFP32)
+			end := h.env.cluster.AllReduceSum(rank, b.Flat, wire, localTime)
+			h.env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: wire, Decision: dec.Format})
+			return end
+
+		case adaptive.FormatCompact, adaptive.FormatCompactTernary:
+			mc.Ternary = dec.Format == adaptive.FormatCompactTernary
+			payload := mc.Encode(b.Flat)
+			wire := h.env.scaleWire(mc.Wire())
+			end := h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
+			mc.Decode(payload, b.Flat)
+			h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire, Decision: dec.Format})
+			return end
+
+		case adaptive.FormatIndexList:
+			// Ship exactly the in-mask coordinates (zeros included): the
+			// payload size is then replica-identical and equal to the NNZ
+			// count the controller priced, so the quote matches the charge.
+			vals, idx := mc.EncodeSparse(b.Flat)
+			wire := h.env.scaleWire(collective.WireSparse)
+			all, end := h.env.cluster.AllGatherSparse(rank,
+				collective.SparsePayload{Values: vals, Indices: idx}, wire, localTime)
+			for i := range b.Flat {
+				b.Flat[i] = 0
+			}
+			sizes := make([]int, len(all))
+			for i, p := range all {
+				sizes[i] = len(p.Values)
+				for j, id := range p.Indices {
+					b.Flat[id] += p.Values[j]
+				}
+			}
+			h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire, Decision: dec.Format})
+			return end
+		}
+		panic("core: adaptive controller returned unknown format " + dec.Format)
+	}
+
+	// Unstable: the same forced full synchronization as the pactrain hook
+	// (unstableFullSync). These rounds are forced, not decided, so they
+	// carry no Decision tag.
+	end, obs := unstableFullSync(h.env, tr, rank, b, h.pendingBitmap[b.Index], localTime)
+	h.compacts[b.Index] = nil
+	h.FullSyncs++
+	h.pendingBitmap[b.Index] = obs.Changed && h.observed[b.Index]
+	h.observed[b.Index] = true
+	return end
+}
+
+// NotifyMaskInvalidated discards tracker, compaction, and controller state
+// at the pruning step, mirroring pacTrainHook.NotifyMaskInvalidated: the
+// densities the incumbents were chosen under are about to change.
+func (h *adaptiveHook) NotifyMaskInvalidated() {
+	for _, tr := range h.trackers {
+		tr.Reset()
+	}
+	h.compacts = make(map[int]*compress.MaskCompact)
+	h.pendingBitmap = make(map[int]bool)
+	h.observed = make(map[int]bool)
+	h.ctrl.Reset()
+}
+
+// StableFraction reports the fraction of bucket syncs the controller drove.
+func (h *adaptiveHook) StableFraction() float64 {
+	total := h.CompactSyncs + h.FullSyncs
+	if total == 0 {
+		return 0
+	}
+	return float64(h.CompactSyncs) / float64(total)
+}
+
+// FormatCounts reports how many controller rounds landed on each format.
+func (h *adaptiveHook) FormatCounts() map[string]int { return h.ctrl.Counts() }
+
+// FormatSwitches reports the number of completed format switches.
+func (h *adaptiveHook) FormatSwitches() int { return h.ctrl.Switches() }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pactrain/internal/adaptive"
+)
+
+func TestAdaptiveSchemeRuns(t *testing.T) {
+	cfg := tinyConfig(SchemeAdaptive)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc <= 0.3 {
+		t.Fatalf("adaptive scheme failed to learn: acc %v", res.FinalAcc)
+	}
+	// Lockstep: every rank must have made the same decisions, or the
+	// replicas diverge.
+	for rank, cs := range res.WeightChecksums {
+		if math.Abs(cs-res.WeightChecksums[0]) > 1e-6 {
+			t.Fatalf("replica %d diverged under the adaptive scheme", rank)
+		}
+	}
+	if res.StableFraction <= 0 {
+		t.Fatal("controller never drove a sync (mask never stabilized)")
+	}
+	// Decision telemetry and the comm-record decision log must agree that
+	// controller rounds happened.
+	if len(res.AdaptiveDecisions) == 0 {
+		t.Fatal("missing AdaptiveDecisions telemetry")
+	}
+	tagged := 0
+	for _, ops := range res.CommLog.Iters {
+		for _, op := range ops {
+			if op.Decision != "" {
+				tagged++
+			}
+		}
+	}
+	if tagged == 0 {
+		t.Fatal("no decision-tagged ops in the comm record")
+	}
+	var rounds int
+	for _, n := range res.AdaptiveDecisions {
+		rounds += n
+	}
+	// Rank 0 records every op; each controller round issues exactly one
+	// tagged op, so the record and the telemetry must match.
+	if tagged != rounds {
+		t.Fatalf("comm record has %d decision-tagged ops, telemetry counted %d rounds", tagged, rounds)
+	}
+}
+
+// TestAdaptiveSingleCandidateMatchesPacTrainTernary pins the scheme
+// plumbing: a controller restricted to the mask-compact-ternary format must
+// reproduce the pactrain-ternary scheme exactly — same warm-up, same
+// tracker schedule, same compressor seeds, hence bit-identical convergence
+// and clock.
+func TestAdaptiveSingleCandidateMatchesPacTrainTernary(t *testing.T) {
+	ternCfg := tinyConfig("pactrain-ternary")
+	tern, err := Run(ternCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adCfg := tinyConfig(SchemeAdaptive)
+	adCfg.AdaptCandidates = []string{adaptive.FormatCompactTernary}
+	ad, err := Run(adCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.FinalAcc != tern.FinalAcc {
+		t.Fatalf("convergence diverged: adaptive %v vs pactrain-ternary %v", ad.FinalAcc, tern.FinalAcc)
+	}
+	if ad.SimSeconds != tern.SimSeconds {
+		t.Fatalf("clock diverged: adaptive %v vs pactrain-ternary %v", ad.SimSeconds, tern.SimSeconds)
+	}
+	if ad.StableFraction != tern.StableFraction {
+		t.Fatalf("compact-path fraction diverged: %v vs %v", ad.StableFraction, tern.StableFraction)
+	}
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	t.Parallel()
+	bad := tinyConfig(SchemeAdaptive)
+	bad.AdaptCandidates = []string{"carrier-pigeon"}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("unknown candidate format accepted")
+	}
+	dup := tinyConfig(SchemeAdaptive)
+	dup.AdaptCandidates = []string{adaptive.FormatDense, adaptive.FormatDense}
+	if _, err := Run(dup); err == nil {
+		t.Fatal("duplicate candidate format accepted")
+	}
+	wide := tinyConfig(SchemeAdaptive)
+	wide.AdaptMargin = 1.5
+	if _, err := Run(wide); err == nil {
+		t.Fatal("margin ≥ 1 accepted")
+	}
+	// Only exactly-zero knobs take the defaults; negatives are errors, not
+	// silent coercions.
+	neg := tinyConfig(SchemeAdaptive)
+	neg.AdaptMargin = -0.1
+	if _, err := Run(neg); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+	negDwell := tinyConfig(SchemeAdaptive)
+	negDwell.AdaptDwell = -2
+	if _, err := Run(negDwell); err == nil {
+		t.Fatal("negative dwell accepted")
+	}
+}
+
+func TestFabricSensitive(t *testing.T) {
+	t.Parallel()
+	multi := tinyConfig(SchemeAdaptive)
+	if !multi.FabricSensitive() {
+		t.Fatal("multi-candidate adaptive config must be fabric-sensitive")
+	}
+	single := tinyConfig(SchemeAdaptive)
+	single.AdaptCandidates = []string{adaptive.FormatIndexList}
+	if single.FabricSensitive() {
+		t.Fatal("single-candidate adaptive config is fabric-independent")
+	}
+	static := tinyConfig("pactrain-ternary")
+	if static.FabricSensitive() {
+		t.Fatal("static schemes are never fabric-sensitive")
+	}
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"pactrain/internal/adaptive"
 	"pactrain/internal/collective"
 	"pactrain/internal/data"
 	"pactrain/internal/ddp"
@@ -43,7 +44,7 @@ type Config struct {
 
 	// Scheme names the aggregation scheme: "all-reduce", "fp16",
 	// "topk-0.1", "topk-0.01", "dgc-0.01", "terngrad", "qsgd", "thc", "ps",
-	// "omnireduce", "zen", "pactrain", "pactrain-ternary".
+	// "omnireduce", "zen", "pactrain", "pactrain-ternary", "adaptive".
 	Scheme string
 
 	// Collective selects the collective algorithm pricing the symmetric
@@ -59,6 +60,19 @@ type Config struct {
 	PruneMethod    prune.Method
 	PretrainEpochs int // dense epochs before pruning (the "pre-trained model")
 	StableWindow   int // Mask Tracker consecutive-iteration window
+
+	// Adaptive-controller knobs, read only by the "adaptive" scheme
+	// (internal/adaptive). AdaptMargin is the hysteresis win margin
+	// (fraction in [0,1); exactly 0 takes the package default, negatives
+	// error), AdaptDwell the consecutive winning rounds a challenger needs
+	// before a switch (0 takes the default, negatives error), and
+	// AdaptCandidates restricts the candidate wire formats (nil = all of
+	// adaptive.Formats()). Like the pruning knobs on non-pruning schemes,
+	// they are canonicalized away from the fingerprint when another scheme
+	// is selected.
+	AdaptMargin     float64
+	AdaptDwell      int
+	AdaptCandidates []string
 
 	// Optimization.
 	Epochs      int
@@ -139,6 +153,25 @@ func (c *Config) validate() error {
 	if c.Scheme == "" {
 		return fmt.Errorf("core: scheme must be set")
 	}
+	if c.Scheme == SchemeAdaptive {
+		cands, err := adaptive.CanonicalCandidates(c.AdaptCandidates)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		c.AdaptCandidates = cands
+		if c.AdaptMargin < 0 || c.AdaptMargin >= 1 {
+			return fmt.Errorf("core: adaptive margin %v outside [0,1)", c.AdaptMargin)
+		}
+		if c.AdaptMargin == 0 {
+			c.AdaptMargin = adaptive.DefaultMargin
+		}
+		if c.AdaptDwell < 0 {
+			return fmt.Errorf("core: adaptive dwell %d negative", c.AdaptDwell)
+		}
+		if c.AdaptDwell == 0 {
+			c.AdaptDwell = adaptive.DefaultDwell
+		}
+	}
 	canon, err := collective.CanonicalAlgorithm(c.Collective)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
@@ -166,7 +199,32 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// IsPacTrain reports whether the scheme is one of PacTrain's own modes.
+// SchemeAdaptive names the cost-model-driven online compression scheme
+// (internal/adaptive): PacTrain's pruning pipeline with a per-bucket
+// controller choosing the wire format each round.
+const SchemeAdaptive = "adaptive"
+
+// IsPacTrain reports whether the scheme is one of PacTrain's own modes —
+// the ones that prune, enforce gradient sparsity, and run the Mask Tracker.
 func (c *Config) IsPacTrain() bool {
-	return c.Scheme == "pactrain" || c.Scheme == "pactrain-ternary"
+	return c.Scheme == "pactrain" || c.Scheme == "pactrain-ternary" || c.Scheme == SchemeAdaptive
+}
+
+// FabricSensitive reports whether the run's recorded communication depends
+// on the fabric itself: the adaptive controller prices candidates against
+// live bandwidth, so its decision sequence — and therefore the recorded op
+// log — can change with the network. Re-costing such a log is exact only
+// under the fabric it was recorded on (DESIGN.md §8); the harness retrains
+// fabric-sensitive configs per operating point instead. A controller
+// restricted to a single candidate always picks it, making the log
+// fabric-independent again.
+func (c *Config) FabricSensitive() bool {
+	if c.Scheme != SchemeAdaptive {
+		return false
+	}
+	cands, err := adaptive.CanonicalCandidates(c.AdaptCandidates)
+	if err != nil {
+		return true // invalid lists are rejected by validate anyway
+	}
+	return len(cands) > 1
 }

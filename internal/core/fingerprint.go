@@ -39,6 +39,14 @@ func (c *Config) Fingerprint() string {
 		cp.PretrainEpochs = 0
 		cp.StableWindow = 0
 	}
+	if cp.Scheme != SchemeAdaptive {
+		// Only the adaptive controller reads these; see also the key
+		// emission below — non-adaptive configs never write them, so every
+		// pre-adaptive fingerprint (and warm disk cache) is unchanged.
+		cp.AdaptMargin = 0
+		cp.AdaptDwell = 0
+		cp.AdaptCandidates = nil
+	}
 
 	var b strings.Builder
 	w := func(key string, v any) {
@@ -61,6 +69,13 @@ func (c *Config) Fingerprint() string {
 	w("prune_method", int(cp.PruneMethod))
 	w("pretrain_epochs", cp.PretrainEpochs)
 	w("stable_window", cp.StableWindow)
+	if cp.Scheme == SchemeAdaptive {
+		// validate already normalized the knobs (defaults applied,
+		// candidates canonicalized), so equivalent spellings collapse.
+		w("adapt_margin", cp.AdaptMargin)
+		w("adapt_dwell", cp.AdaptDwell)
+		w("adapt_candidates", strings.Join(cp.AdaptCandidates, ","))
+	}
 	w("epochs", cp.Epochs)
 	w("batch", cp.BatchSize)
 	w("lr", cp.LR)

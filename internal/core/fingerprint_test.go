@@ -68,6 +68,33 @@ func TestFingerprintNormalizesDefaults(t *testing.T) {
 	if ring1.Fingerprint() != ring2.Fingerprint() {
 		t.Fatal("\"\" and \"ring\" collective fingerprint differently")
 	}
+
+	// The adaptive knobs are dead fields on every other scheme — and their
+	// keys are not even emitted there, so pre-adaptive fingerprints (and
+	// warm disk caches) are untouched.
+	ad1, ad2 := fpConfig(), fpConfig()
+	ad2.AdaptMargin = 0.2
+	ad2.AdaptDwell = 5
+	ad2.AdaptCandidates = []string{"index-list"}
+	if ad1.Fingerprint() != ad2.Fingerprint() {
+		t.Fatal("adaptive knobs split the key for a non-adaptive scheme")
+	}
+	// For the adaptive scheme, a nil candidate list and the explicit full
+	// set normalize to one key...
+	full1, full2 := fpConfig(), fpConfig()
+	full1.Scheme, full2.Scheme = SchemeAdaptive, SchemeAdaptive
+	full2.AdaptCandidates = []string{"dense-fp32", "mask-compact", "mask-compact-ternary", "index-list"}
+	if full1.Fingerprint() != full2.Fingerprint() {
+		t.Fatal("nil and explicit-full candidate sets fingerprint differently")
+	}
+	// ...and candidate order canonicalizes.
+	ord1, ord2 := fpConfig(), fpConfig()
+	ord1.Scheme, ord2.Scheme = SchemeAdaptive, SchemeAdaptive
+	ord1.AdaptCandidates = []string{"index-list", "dense-fp32"}
+	ord2.AdaptCandidates = []string{"dense-fp32", "index-list"}
+	if ord1.Fingerprint() != ord2.Fingerprint() {
+		t.Fatal("candidate order split the key")
+	}
 }
 
 // TestFingerprintDistinguishesResultChangingFields flips every config field
@@ -105,6 +132,23 @@ func TestFingerprintDistinguishesResultChangingFields(t *testing.T) {
 		},
 		"topology":   func(c *Config) { c.Topology = netsim.FlatTopology(8, netsim.Gbps, 1e-4) },
 		"collective": func(c *Config) { c.Collective = "hierarchical" },
+	}
+	// The adaptive knobs change training output for the adaptive scheme.
+	adaptiveMutations := map[string]func(*Config){
+		"adapt_margin":     func(c *Config) { c.AdaptMargin = 0.3 },
+		"adapt_dwell":      func(c *Config) { c.AdaptDwell = 7 },
+		"adapt_candidates": func(c *Config) { c.AdaptCandidates = []string{"mask-compact-ternary"} },
+	}
+	adBase := fpConfig()
+	adBase.Scheme = SchemeAdaptive
+	adBaseFP := adBase.Fingerprint()
+	for name, mutate := range adaptiveMutations {
+		cfg := fpConfig()
+		cfg.Scheme = SchemeAdaptive
+		mutate(&cfg)
+		if cfg.Fingerprint() == adBaseFP {
+			t.Errorf("mutation %q did not change the adaptive fingerprint", name)
+		}
 	}
 	for name, mutate := range mutations {
 		cfg := fpConfig()

@@ -186,6 +186,30 @@ func (h *zenHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
 
 // --- The PacTrain hook --------------------------------------------------------
 
+// unstableFullSync is the synchronization step the PacTrain-family hooks
+// (pacTrainHook, adaptiveHook) share while a bucket's sparsity pattern is
+// unstable (Algorithm 1 lines 11–12): pay the owed bitmap re-share, run a
+// full fp32 all-reduce, and feed the tracker with the aggregated gradient —
+// identical bytes on every worker keep the trackers, and therefore the
+// stable/unstable branch, in lockstep across ranks. Both hooks delegate
+// here so the bit-exactness contract between them
+// (TestAdaptiveSingleCandidateMatchesPacTrainTernary) is structural, not
+// copy-discipline.
+func unstableFullSync(env *hookEnv, tr *masktracker.Tracker, rank int, b *ddp.Bucket,
+	payBitmap bool, localTime float64) (float64, masktracker.Observation) {
+	var end float64
+	if payBitmap {
+		bitWire := env.scaleWire(collective.BitmapWire)
+		end = env.cluster.BroadcastScaledBitmap(rank, 0, b.Elements(), bitWire, localTime)
+		env.record(CommOp{Kind: OpBitmapBroadcast, Elements: b.Elements(), Wire: bitWire})
+		localTime = end
+	}
+	fullWire := env.scaleWire(collective.WireFP32)
+	end = env.cluster.AllReduceSum(rank, b.Flat, fullWire, localTime)
+	env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: fullWire})
+	return end, tr.Observe(b.Flat)
+}
+
 // pacTrainHook implements Algorithm 1's synchronization step. Per bucket it
 // maintains a Mask Tracker fed with the *aggregated* gradient (identical on
 // every worker, so all workers take the same branch without extra
@@ -262,29 +286,12 @@ func (h *pacTrainHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 
 		return end
 	}
 
-	// Unstable: full synchronization (Algorithm 1 lines 11–12), and pay
-	// the mask re-share if the pattern moved last iteration.
-	var end float64
-	if h.pendingBitmap[b.Index] {
-		bitWire := h.env.scaleWire(collective.BitmapWire)
-		end = h.env.cluster.BroadcastScaledBitmap(rank, 0, b.Elements(), bitWire, localTime)
-		h.env.record(CommOp{Kind: OpBitmapBroadcast, Elements: b.Elements(), Wire: bitWire})
-		localTime = end
-		h.pendingBitmap[b.Index] = false
-	}
-	fullWire := h.env.scaleWire(collective.WireFP32)
-	end = h.env.cluster.AllReduceSum(rank, b.Flat, fullWire, localTime)
-	h.env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: fullWire})
+	// Unstable: full synchronization, paying the mask re-share if the
+	// pattern moved last iteration (unstableFullSync).
+	end, obs := unstableFullSync(h.env, tr, rank, b, h.pendingBitmap[b.Index], localTime)
 	h.compacts[b.Index] = nil // any cached mask is now suspect
 	h.FullSyncs++
-
-	// Feed the tracker with the aggregated gradient: identical bytes on all
-	// workers keep the trackers, and therefore the branch above, in
-	// lockstep across ranks.
-	obs := tr.Observe(b.Flat)
-	if obs.Changed && h.observed[b.Index] {
-		h.pendingBitmap[b.Index] = true
-	}
+	h.pendingBitmap[b.Index] = obs.Changed && h.observed[b.Index]
 	h.observed[b.Index] = true
 	return end
 }

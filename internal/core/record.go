@@ -28,6 +28,14 @@ type CommOp struct {
 	BlockSz  int                   // block-sparse block size
 	Scale    float64               // block-sparse wire scale (1 if unset)
 	Wire     collective.WireFormat // wire format of the payload (pre-scaled)
+	// Decision names the wire format the adaptive controller chose when
+	// this op was controller-driven ("" for static schemes and for the
+	// adaptive scheme's forced full syncs). The op's Kind/Elements/Wire
+	// already encode the decision's *consequences*, so CostIter replays an
+	// adaptive log without interpreting this field — but only on the fabric
+	// the log was recorded under, because a different fabric would have
+	// produced different decisions (Config.FabricSensitive, DESIGN.md §8).
+	Decision string `json:",omitempty"`
 }
 
 // CommLog records the operations of every iteration on rank 0.

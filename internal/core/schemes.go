@@ -98,6 +98,11 @@ func schemeTable() []schemeDef {
 			build: func(cfg *Config, env *hookEnv, seed uint64) ddp.Hook {
 				return newPacTrainHook(env, cfg, true, seed)
 			}},
+		{name: SchemeAdaptive,
+			about: "PacTrain pipeline with a cost-model controller picking the wire format per bucket per round",
+			build: func(cfg *Config, env *hookEnv, seed uint64) ddp.Hook {
+				return newAdaptiveHook(env, cfg, seed)
+			}},
 	}
 }
 

@@ -48,10 +48,18 @@ type Result struct {
 	CommLog *CommLog
 
 	// StableFraction is the fraction of PacTrain bucket syncs that used the
-	// compact path (0 for other schemes).
+	// compact path — for the adaptive scheme, the controller-driven
+	// fraction (0 for other schemes).
 	StableFraction float64
 	// MaskSparsity is the fraction of pruned weights (0 when not pruning).
 	MaskSparsity float64
+
+	// AdaptiveDecisions counts, for the adaptive scheme, how many
+	// controller rounds landed on each candidate wire format (nil for
+	// every other scheme); AdaptiveSwitches counts completed format
+	// switches. The per-round decisions themselves are in CommLog.
+	AdaptiveDecisions map[string]int `json:",omitempty"`
+	AdaptiveSwitches  int            `json:",omitempty"`
 
 	// WeightChecksums holds one end-of-training weight checksum per rank;
 	// equal values certify that the replicas never diverged.
@@ -179,8 +187,8 @@ func runWorker(cfg *Config, rank int, cluster *collective.Cluster,
 			}
 			mask.Apply(model)
 			gse.ZeroVelocity(opt, model, mask)
-			if pt, ok := hook.(*pacTrainHook); ok {
-				pt.NotifyMaskInvalidated()
+			if mr, ok := hook.(maskResetter); ok {
+				mr.NotifyMaskInvalidated()
 			}
 			if rank == 0 {
 				res.MaskSparsity = mask.Sparsity()
@@ -255,11 +263,29 @@ func runWorker(cfg *Config, rank int, cluster *collective.Cluster,
 		res.Iterations = iter
 		res.EpochsRun = cfg.Epochs
 		res.SimSeconds = simTime
-		if pt, ok := hook.(*pacTrainHook); ok {
-			res.StableFraction = pt.StableFraction()
+		if sr, ok := hook.(stableReporter); ok {
+			res.StableFraction = sr.StableFraction()
+		}
+		if ar, ok := hook.(adaptiveReporter); ok {
+			res.AdaptiveDecisions = ar.FormatCounts()
+			res.AdaptiveSwitches = ar.FormatSwitches()
 		}
 	}
 	return nil
+}
+
+// maskResetter is implemented by hooks whose per-bucket state derives from
+// the sparsity pattern; the trainer resets them at the pruning step.
+type maskResetter interface{ NotifyMaskInvalidated() }
+
+// stableReporter exposes the compact-path fraction of the PacTrain-family
+// hooks.
+type stableReporter interface{ StableFraction() float64 }
+
+// adaptiveReporter exposes the adaptive controller's decision telemetry.
+type adaptiveReporter interface {
+	FormatCounts() map[string]int
+	FormatSwitches() int
 }
 
 // buildMask derives the pruning mask per the configured method. Magnitude

@@ -179,8 +179,11 @@ func RunAblationTopo(opt Options) (*AblationTopoResult, error) {
 	return out, nil
 }
 
-// recostOnTopology generalizes recostTTA to an arbitrary topology.
+// recostOnTopology generalizes recostTTA to an arbitrary topology. It
+// refuses fabric-sensitive configs (multi-candidate adaptive runs), whose
+// logs only replay exactly on the fabric they were recorded under.
 func recostOnTopology(res *core.Result, cfg *core.Config, topo *netsim.Topology, target float64) (float64, bool) {
+	rejectFabricSensitive(cfg)
 	cum := recostCum(res, cfg, netsim.NewFabric(topo))
 	return ttaFromCum(res, cum, target)
 }

@@ -105,6 +105,18 @@ type Options struct {
 	Parallelism int
 	// CacheDir enables the on-disk result cache when non-empty.
 	CacheDir string
+	// MemoLimit bounds the in-memory singleflight Result memo (0 =
+	// unlimited, the historical behavior). The memo is the cross-experiment
+	// dedup economy, but a long-lived process serving many distinct configs
+	// (the serve subsystem, DESIGN.md §6) would otherwise retain one Result
+	// per config forever. With a limit set, an entry becomes evictable once
+	// its Result is safely on disk — stored to, or loaded from, the cache —
+	// and the oldest evictable entries drop first; a re-query then
+	// round-trips through the disk cache byte-identically
+	// (TestMemoLimitEvictsThroughDiskCache). Entries that never reached
+	// disk (no CacheDir, or a failed store) are pinned: evicting them would
+	// forget work nothing can recover.
+	MemoLimit int
 	// Log receives per-job progress lines; nil discards them.
 	Log io.Writer
 	// OnEvent, when non-nil, observes every scheduling step. It is invoked
@@ -118,14 +130,20 @@ type Options struct {
 // jobs. It is safe for concurrent use; one engine is typically shared by
 // every experiment in a process.
 type Engine struct {
-	sem     chan struct{}
-	cache   *Cache
-	log     io.Writer
-	onEvent func(Event)
+	sem       chan struct{}
+	cache     *Cache
+	log       io.Writer
+	onEvent   func(Event)
+	memoLimit int
 
 	mu       sync.Mutex
 	inflight map[string]*call
 	stats    Stats
+	// completed lists successfully finished fingerprints in completion
+	// order; persisted marks the ones whose Result is on disk and therefore
+	// evictable under MemoLimit.
+	completed []string
+	persisted map[string]bool
 
 	logMu sync.Mutex
 }
@@ -151,11 +169,13 @@ func New(opt Options) *Engine {
 		cache = NewCache(opt.CacheDir)
 	}
 	return &Engine{
-		sem:      make(chan struct{}, opt.Parallelism),
-		cache:    cache,
-		log:      opt.Log,
-		onEvent:  opt.OnEvent,
-		inflight: make(map[string]*call),
+		sem:       make(chan struct{}, opt.Parallelism),
+		cache:     cache,
+		log:       opt.Log,
+		onEvent:   opt.OnEvent,
+		memoLimit: opt.MemoLimit,
+		inflight:  make(map[string]*call),
+		persisted: make(map[string]bool),
 	}
 }
 
@@ -198,20 +218,53 @@ func (e *Engine) Run(job Job) (*core.Result, error) {
 	e.mu.Unlock()
 	e.emit(EventSubmitted, job.Label, fp, 0, nil)
 
-	c.res, c.err = e.execute(job, fp)
+	var persisted bool
+	c.res, persisted, c.err = e.execute(job, fp)
 	close(c.done)
+	e.mu.Lock()
 	if c.err != nil {
 		// Do not poison the key forever: a failed job may be retried.
-		e.mu.Lock()
 		delete(e.inflight, fp)
-		e.mu.Unlock()
+	} else {
+		e.completed = append(e.completed, fp)
+		if persisted {
+			e.persisted[fp] = true
+		}
+		e.evictLocked()
 	}
+	e.mu.Unlock()
 	return c.res, c.err
 }
 
+// evictLocked drops the oldest disk-persisted completed entries until the
+// memo is back within MemoLimit. Callers hold e.mu.
+func (e *Engine) evictLocked() {
+	if e.memoLimit <= 0 || len(e.persisted) == 0 {
+		// Nothing evictable (no limit, no cache, or every store failed):
+		// skip the scan rather than rewalking an all-pinned list per job.
+		return
+	}
+	excess := len(e.completed) - e.memoLimit
+	if excess <= 0 {
+		return
+	}
+	kept := e.completed[:0]
+	for _, fp := range e.completed {
+		if excess > 0 && e.persisted[fp] {
+			delete(e.inflight, fp)
+			delete(e.persisted, fp)
+			excess--
+			continue
+		}
+		kept = append(kept, fp)
+	}
+	e.completed = kept
+}
+
 // execute resolves a job the first submitter owns: disk cache, then a
-// pool-limited training run.
-func (e *Engine) execute(job Job, fp string) (*core.Result, error) {
+// pool-limited training run. The bool reports whether the Result is safely
+// on disk — the precondition for memo eviction.
+func (e *Engine) execute(job Job, fp string) (*core.Result, bool, error) {
 	if e.cache != nil {
 		if res, ok := e.cache.Load(fp); ok {
 			e.mu.Lock()
@@ -219,7 +272,7 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, error) {
 			e.mu.Unlock()
 			e.emit(EventCacheHit, job.Label, fp, res.SimSeconds, nil)
 			e.logf("engine: %-32s %s cache hit", job.Label, fp)
-			return res, nil
+			return res, true, nil
 		}
 	}
 
@@ -233,18 +286,21 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, error) {
 	if err != nil {
 		err = fmt.Errorf("engine: job %s (%s): %w", job.Label, fp, err)
 		e.emit(EventTrainDone, job.Label, fp, 0, err)
-		return nil, err
+		return nil, false, err
 	}
 	e.mu.Lock()
 	e.stats.Trained++
 	e.mu.Unlock()
+	persisted := false
 	if e.cache != nil {
 		if err := e.cache.Store(fp, res); err != nil {
 			e.logf("engine: %-32s %s cache store failed: %v", job.Label, fp, err)
+		} else {
+			persisted = true
 		}
 	}
 	e.emit(EventTrainDone, job.Label, fp, res.SimSeconds, nil)
-	return res, nil
+	return res, persisted, nil
 }
 
 // runConfig shields the scheduler from panicking training code (e.g. a

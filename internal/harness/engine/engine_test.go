@@ -129,6 +129,74 @@ func TestCacheRoundTripExact(t *testing.T) {
 	}
 }
 
+// TestMemoLimitEvictsThroughDiskCache covers the bounded singleflight memo
+// (DESIGN.md §6 named this as future work): once an entry's Result is on
+// disk, MemoLimit may evict it from memory, and a re-query round-trips
+// through the disk cache byte-identically instead of retraining.
+func TestMemoLimitEvictsThroughDiskCache(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	e := New(Options{CacheDir: dir, MemoLimit: 1})
+
+	jobA := Job{Label: "a", Config: testConfig("all-reduce")}
+	jobB := Job{Label: "b", Config: testConfig("fp16")}
+	first, err := e.Run(jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(jobB); err != nil { // evicts jobA's memo entry
+		t.Fatal(err)
+	}
+
+	again, err := e.Run(jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Trained != 2 || s.CacheHits != 1 || s.Deduped != 0 {
+		t.Fatalf("stats %+v, want 2 trained / 1 cache hit / 0 deduped", s)
+	}
+	if first == again {
+		t.Fatal("evicted entry returned the in-memory pointer, not the disk copy")
+	}
+	// Byte-identical round trip (WallSeconds is the recorded process's wall
+	// clock, zeroed on both store and load).
+	firstCp := *first
+	firstCp.WallSeconds = 0
+	wj, err := json.Marshal(&firstCp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wj, gj) {
+		t.Fatalf("disk round trip not byte-identical:\nfresh: %s\ndisk:  %s", wj, gj)
+	}
+}
+
+// TestMemoLimitPinsUnpersistedEntries: without a disk cache nothing is
+// evictable — the memo is the only copy — so the limit must not discard
+// work.
+func TestMemoLimitPinsUnpersistedEntries(t *testing.T) {
+	t.Parallel()
+	e := New(Options{MemoLimit: 1})
+	jobA := Job{Label: "a", Config: testConfig("all-reduce")}
+	if _, err := e.Run(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(Job{Label: "b", Config: testConfig("fp16")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Trained != 2 || s.Deduped != 1 {
+		t.Fatalf("stats %+v, want 2 trained / 1 deduped (no eviction without a cache)", s)
+	}
+}
+
 func TestCacheVersionSkewIsMiss(t *testing.T) {
 	t.Parallel()
 	dir := t.TempDir()

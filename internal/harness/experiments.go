@@ -42,6 +42,8 @@ func Experiments() []Definition {
 			func(o Options) (Report, error) { return RunAblationVarBW(o) }},
 		{"collectives", "collective-algorithm grid (ring / tree / hierarchical, two-rack fabric)",
 			func(o Options) (Report, error) { return RunCollectives(o) }},
+		{"adaptive", "online compression controller vs static wire formats (WAN fabrics)",
+			func(o Options) (Report, error) { return RunAdaptive(o) }},
 	}
 }
 

@@ -282,6 +282,19 @@ func recostTTA(res *core.Result, cfg *core.Config, bottleneck float64, target fl
 	return recostOnTopology(res, cfg, topo, target)
 }
 
+// rejectFabricSensitive makes Config.FabricSensitive load-bearing on the
+// cross-network sweep paths: a multi-candidate adaptive log replays
+// decisions the controller would not have made on a different fabric, so
+// re-costing it across networks silently produces wrong clocks (DESIGN.md
+// §8). Experiments must retrain such cells per operating point, as
+// RunAdaptive does. Same-fabric replay (recostCum on the recorded fabric)
+// remains valid and is not guarded.
+func rejectFabricSensitive(cfg *core.Config) {
+	if cfg.FabricSensitive() {
+		panic(fmt.Sprintf("harness: %q run is fabric-sensitive; retrain per operating point instead of re-costing across networks (DESIGN.md §8)", cfg.Scheme))
+	}
+}
+
 // trainJob builds the engine job for one (workload, scheme) training with
 // communication recording.
 func trainJob(exp string, w Workload, scheme string, opt Options) engine.Job {

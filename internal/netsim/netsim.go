@@ -258,6 +258,43 @@ func (f *Fabric) TransferTime(src, dst NodeID, payloadBytes float64, t float64) 
 	return latency + payloadBytes*8/bottleneck, nil
 }
 
+// PricingClone returns a fabric over the same topology and traces with
+// fresh byte accounting — a scratch instrument for what-if pricing. The
+// collective cost functions record payload bytes on every link they touch,
+// so a caller that merely wants to *quote* a hypothetical transfer (the
+// adaptive compression controller prices every candidate wire format each
+// round) must run them against a clone, or the accounting of transfers that
+// never happened would pollute the real fabric.
+func (f *Fabric) PricingClone() *Fabric {
+	nf := NewFabric(f.Topo)
+	for li, tr := range f.traces {
+		nf.traces[li] = tr
+	}
+	return nf
+}
+
+// BottleneckBandwidthAt returns the minimum effective (trace-scaled)
+// bandwidth over the topology's inter-switch links at time t — the scalar
+// "current network speed" an online controller keys its decisions on. A
+// topology without inter-switch links (flat, point-to-point) quotes the
+// minimum over all links instead.
+func (f *Fabric) BottleneckBandwidthAt(t float64) float64 {
+	links := f.Topo.InterSwitchLinks()
+	if len(links) == 0 {
+		links = make([]int, len(f.Topo.Links))
+		for i := range links {
+			links[i] = i
+		}
+	}
+	bw := math.Inf(1)
+	for _, li := range links {
+		if b := f.linkBandwidthAt(li, t); b < bw {
+			bw = b
+		}
+	}
+	return bw
+}
+
 // ResetAccounting zeroes the byte counters.
 func (f *Fabric) ResetAccounting() {
 	for i := range f.BytesOnLink {

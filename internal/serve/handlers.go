@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"pactrain/internal/collective"
 	"pactrain/internal/core"
 	"pactrain/internal/harness"
 )
@@ -14,6 +15,7 @@ import (
 //	POST /v1/experiments      submit a job (202; coalesces onto in-flight twins)
 //	GET  /v1/experiments      list the experiment registry
 //	GET  /v1/schemes          list the aggregation-scheme catalog
+//	GET  /v1/collectives      list the collective-algorithm catalog
 //	GET  /v1/jobs             list jobs in submission order
 //	GET  /v1/jobs/{id}        job status + per-job engine progress
 //	GET  /v1/jobs/{id}/result finished report bytes (CLI -json compatible)
@@ -25,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	mux.HandleFunc("GET /v1/collectives", s.handleCollectives)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -101,6 +104,13 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 // behind Config.Scheme validation and `pactrain-bench -list-schemes`.
 func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, core.SchemeCatalog())
+}
+
+// handleCollectives serves the collective-algorithm catalog — the registry
+// behind Config.Collective validation and `pactrain-bench
+// -list-collectives`, mirroring the scheme catalog's shape.
+func (s *Server) handleCollectives(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, collective.AlgorithmCatalog())
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {

@@ -56,6 +56,12 @@ type Options struct {
 	// CacheDir enables the engine's on-disk result cache; it is swept for
 	// stale entries at startup.
 	CacheDir string
+	// MemoLimit bounds the engine's in-memory singleflight Result memo
+	// (engine.Options.MemoLimit): 0 keeps every trained Result for the
+	// process lifetime; with a limit and a CacheDir, the oldest
+	// disk-persisted entries evict and re-queries round-trip through the
+	// disk cache.
+	MemoLimit int
 	// Workers bounds concurrently running experiment jobs (default 2).
 	Workers int
 	// QueueDepth bounds accepted-but-unstarted jobs (default 64).
@@ -140,6 +146,7 @@ func New(opt Options) (*Server, error) {
 	s.engine = engine.New(engine.Options{
 		Parallelism: opt.Parallelism,
 		CacheDir:    opt.CacheDir,
+		MemoLimit:   opt.MemoLimit,
 		Log:         opt.Log,
 		OnEvent:     s.onEngineEvent,
 	})

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"pactrain/internal/collective"
 	"pactrain/internal/core"
 	"pactrain/internal/harness"
 	"pactrain/internal/harness/engine"
@@ -327,6 +328,17 @@ func TestSchemesEndpointAndCollectiveCoalescing(t *testing.T) {
 	for i, name := range core.Schemes() {
 		if schemes[i].Name != name || schemes[i].Description == "" {
 			t.Fatalf("scheme entry %d = %+v, want name %q with a description", i, schemes[i], name)
+		}
+	}
+
+	// The collective catalog mirrors the scheme catalog's pattern.
+	code, algos := getJSON[[]collective.AlgorithmInfo](t, ts.URL+"/v1/collectives")
+	if code != http.StatusOK || len(algos) != len(collective.AlgorithmNames()) {
+		t.Fatalf("collectives = %d entries (status %d), want %d", len(algos), code, len(collective.AlgorithmNames()))
+	}
+	for i, name := range collective.AlgorithmNames() {
+		if algos[i].Name != name || algos[i].Description == "" {
+			t.Fatalf("collective entry %d = %+v, want name %q with a description", i, algos[i], name)
 		}
 	}
 

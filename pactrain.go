@@ -98,6 +98,15 @@ func SchemeCatalog() []SchemeInfo { return core.SchemeCatalog() }
 // (Config.Collective vocabulary), the default ring first.
 func CollectiveAlgorithms() []string { return collective.AlgorithmNames() }
 
+// CollectiveInfo is one collective-algorithm catalog entry (name,
+// description).
+type CollectiveInfo = collective.AlgorithmInfo
+
+// CollectiveCatalog lists every collective algorithm with its description —
+// the table behind `pactrain-bench -list-collectives` and the service's
+// GET /v1/collectives, mirroring SchemeCatalog for schemes.
+func CollectiveCatalog() []CollectiveInfo { return collective.AlgorithmCatalog() }
+
 // CanonicalCollective normalizes a collective-algorithm selector (the empty
 // string canonicalizes to "ring") and errors on unknown names with the
 // valid vocabulary.
