@@ -14,7 +14,9 @@
 //	pactrain-bench -exp fig3 -json        # machine-readable report
 //	pactrain-bench -exp collectives       # ring/tree/hierarchical grid
 //	pactrain-bench -exp adaptive          # online controller vs static formats
+//	pactrain-bench -exp stragglers        # heterogeneous-compute straggler grid
 //	pactrain-bench -exp fig3 -collective hierarchical   # re-price every job
+//	pactrain-bench -exp fig3 -overlap backward   # hide comm under backward
 //	pactrain-bench -list-schemes          # aggregation-scheme catalog
 //	pactrain-bench -list-collectives      # collective-algorithm catalog
 //
@@ -38,12 +40,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|collectives|adaptive|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|collectives|adaptive|stragglers|all")
 	quick := flag.Bool("quick", false, "fast settings (MLP twin, smaller sweeps)")
 	world := flag.Int("world", 8, "number of distributed workers")
 	samples := flag.Int("samples", 0, "synthetic training samples (0 = preset default)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	collectiveAlgo := flag.String("collective", "", "collective algorithm for every job: ring|tree|hierarchical (empty = ring)")
+	overlap := flag.String("overlap", "", "backward-overlap model for every job: none|backward (empty = none)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	parallel := flag.Int("parallel", 1, "concurrent training jobs")
 	cacheDir := flag.String("cache", "", "directory for the on-disk run cache (empty = disabled)")
@@ -72,6 +75,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
 		os.Exit(2)
 	}
+	if _, err := pactrain.ParseOverlap(*overlap); err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	opt := pactrain.Options{
 		Quick:       *quick,
@@ -79,6 +86,7 @@ func main() {
 		Samples:     *samples,
 		Seed:        *seed,
 		Collective:  *collectiveAlgo,
+		Overlap:     *overlap,
 		Parallelism: *parallel,
 		CacheDir:    *cacheDir,
 	}

@@ -9,6 +9,7 @@
 //	pactrain-train -model VGG19 -scheme topk-0.01 -epochs 8 -world 4
 //	pactrain-train -model MLP -scheme all-reduce -csv
 //	pactrain-train -scheme adaptive -adapt-margin 0.1 -adapt-candidates mask-compact-ternary,index-list
+//	pactrain-train -overlap backward -straggler 2 -jitter 0.1   # per-rank timelines
 package main
 
 import (
@@ -45,6 +46,9 @@ func main() {
 	model := flag.String("model", "ResNet18", "workload: VGG19|ResNet18|ResNet152|ViT-Base-16|MLP")
 	scheme := flag.String("scheme", "pactrain-ternary", "aggregation scheme (see pactrain.Schemes)")
 	collectiveAlgo := flag.String("collective", "", "collective algorithm: ring|tree|hierarchical (empty = ring)")
+	overlap := flag.String("overlap", "", "backward-overlap model: none|backward (empty = none)")
+	straggler := flag.Float64("straggler", 1, "one-slow-rank compute multiplier (1 = uniform cluster)")
+	jitter := flag.Float64("jitter", 0, "per-iteration compute jitter fraction in [0,1)")
 	bw := flag.String("bw", "1gbps", "Fig. 4 bottleneck bandwidth, e.g. 100mbps, 500mbps, 1gbps")
 	world := flag.Int("world", 8, "number of workers")
 	epochs := flag.Int("epochs", 12, "training epochs")
@@ -69,9 +73,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	overlapMode, err := pactrain.ParseOverlap(*overlap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := pactrain.DefaultConfig(*model, *scheme)
 	cfg.World = *world
 	cfg.Collective = *collectiveAlgo
+	cfg.Overlap = overlapMode
+	if *straggler != 1 {
+		cfg.RankCompute.Multipliers = pactrain.OneSlowRank(*world, *straggler)
+	}
+	cfg.RankCompute.JitterFrac = *jitter
+	cfg.RankCompute.JitterSeed = *seed
 	cfg.BottleneckBps = bottleneck
 	cfg.Epochs = *epochs
 	cfg.BatchSize = *batch
@@ -113,7 +129,11 @@ func main() {
 	fmt.Printf("model        %s\n", res.Model)
 	fmt.Printf("scheme       %s\n", res.Scheme)
 	fmt.Printf("collective   %s\n", res.Collective)
+	fmt.Printf("overlap      %s\n", overlapMode)
 	fmt.Printf("workers      %d @ %s bottleneck (Fig. 4)\n", *world, *bw)
+	if *straggler != 1 || *jitter > 0 {
+		fmt.Printf("stragglers   last rank %g× slower, ±%.0f%% jitter\n", *straggler, *jitter*100)
+	}
 	fmt.Printf("iterations   %d over %d epochs\n", res.Iterations, res.EpochsRun)
 	fmt.Printf("final acc    %.3f (best %.3f)\n", res.FinalAcc, res.BestAcc)
 	fmt.Printf("sim time     %s\n", metrics.FormatSeconds(res.SimSeconds))

@@ -1,0 +1,71 @@
+// Straggler demo: the per-rank event timeline in action. Four edge-grade
+// workers train behind a 100 Mbps Fig. 4 bottleneck while the last rank
+// runs 2× slower; every collective launches at the barrier over the ranks'
+// gradient-ready times, so the straggler holds the whole ring. The demo
+// compares dense fp32 against PacTrain under both overlap models: the
+// straggler stretches every scheme's clock, but PacTrain's compressed
+// communication keeps its time-to-accuracy strictly ahead, and per-bucket
+// backward overlap claws back part of the straggler's cost by hiding
+// communication under the (now longer) backward pass.
+//
+//	go run ./examples/straggler-demo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pactrain"
+	"pactrain/internal/metrics"
+)
+
+func config(scheme string, overlap pactrain.Overlap, straggler float64) pactrain.Config {
+	cfg := pactrain.DefaultConfig("MLP", scheme)
+	cfg.World = 4
+	cfg.Lite.Width = 8
+	cfg.Data.Samples = 320
+	cfg.Epochs = 6
+	cfg.BatchSize = 8
+	cfg.TargetAcc = 0.70
+	cfg.Seed = 3
+	cfg.BottleneckBps = 100 * pactrain.Mbps
+	cfg.Overlap = overlap
+	// An edge-class accelerator (~0.23 TFLOP/s) makes compute a meaningful
+	// share of the iteration — the regime where stragglers actually bite.
+	cfg.Compute.DeviceFLOPS = 0.23e12
+	if straggler > 1 {
+		cfg.RankCompute.Multipliers = pactrain.OneSlowRank(cfg.World, straggler)
+	}
+	return cfg
+}
+
+func main() {
+	fmt.Println("one slow rank on edge workers: per-rank timelines, launch barriers, overlap")
+	fmt.Println("fabric: Fig. 4 @ 100 Mbps bottleneck; last of 4 ranks 2× slower")
+	fmt.Println()
+	fmt.Printf("%-18s %-10s %12s %12s %12s\n",
+		"scheme", "overlap", "uniform TTA", "straggler", "degradation")
+
+	for _, scheme := range []string{"all-reduce", "pactrain-ternary"} {
+		for _, overlap := range []pactrain.Overlap{pactrain.OverlapNone, pactrain.OverlapBackward} {
+			tta := func(straggler float64) float64 {
+				res, err := pactrain.Train(config(scheme, overlap, straggler))
+				if err != nil {
+					log.Fatal(err)
+				}
+				t, _ := res.Curve.TTA(0.70)
+				return t
+			}
+			uniform := tta(1)
+			slow := tta(2)
+			fmt.Printf("%-18s %-10s %12s %12s %11.3f×\n",
+				scheme, overlap, metrics.FormatSeconds(uniform),
+				metrics.FormatSeconds(slow), slow/uniform)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The straggler stretches every clock, but PacTrain stays strictly")
+	fmt.Println("ahead of dense fp32, and backward overlap hides part of the cost —")
+	fmt.Println("the slow rank's longer backward is more room to hide bytes under.")
+}

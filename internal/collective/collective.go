@@ -318,6 +318,21 @@ func (c *Cluster) Barrier(rank int, localTime float64) float64 {
 	return end
 }
 
+// LaunchBarrier resolves the launch time of the next collective without
+// issuing one: every worker observes the maximum local clock — the
+// simclock.Timeline.LaunchTime barrier, realized across the live worker
+// goroutines. Unlike Barrier it leaves the statistics untouched; it is the
+// clock-only rendezvous the per-rank timeline model uses so that
+// replica-lockstep decisions (the adaptive controller) and recorded launch
+// times see the collective's true start even when rank clocks have
+// diverged. It costs no simulated time.
+func (c *Cluster) LaunchBarrier(rank int, localTime float64) float64 {
+	_, end := c.rendezvous(rank, nil, localTime, func(_ []any, start float64) (any, float64) {
+		return nil, start
+	})
+	return end
+}
+
 // BroadcastBitmap costs the distribution of a pruning/sparsity bitmap of n
 // logical bits from root to all workers (1 bit per element on the wire).
 // PacTrain pays this once per mask change (§III-C, DESIGN.md §4).

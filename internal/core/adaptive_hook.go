@@ -76,13 +76,20 @@ func (h *adaptiveHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 
 			mc.SetMask(tr.Indices(), b.Elements())
 			h.compacts[b.Index] = mc
 		}
+		// localTime is the bucket's true launch time: under the per-rank
+		// timeline (heterogeneity or per-bucket overlap) the trainer resolves
+		// the launch barrier before calling Sync, so every rank prices the
+		// candidates at the same synchronized instant even though their
+		// compute clocks have diverged — lockstep is preserved by
+		// construction, not by assuming homogeneous clocks.
 		dec := h.ctrl.Decide(b.Index, b.Elements(), mc.NNZ(), localTime)
 		h.CompactSyncs++
 		switch dec.Format {
 		case adaptive.FormatDense:
 			wire := h.env.scaleWire(collective.WireFP32)
 			end := h.env.cluster.AllReduceSum(rank, b.Flat, wire, localTime)
-			h.env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: wire, Decision: dec.Format})
+			h.env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: wire,
+				Decision: dec.Format, Bucket: b.Index, LaunchAt: localTime})
 			return end
 
 		case adaptive.FormatCompact, adaptive.FormatCompactTernary:
@@ -91,7 +98,8 @@ func (h *adaptiveHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 
 			wire := h.env.scaleWire(mc.Wire())
 			end := h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
 			mc.Decode(payload, b.Flat)
-			h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire, Decision: dec.Format})
+			h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire,
+				Decision: dec.Format, Bucket: b.Index, LaunchAt: localTime})
 			return end
 
 		case adaptive.FormatIndexList:
@@ -112,7 +120,8 @@ func (h *adaptiveHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 
 					b.Flat[id] += p.Values[j]
 				}
 			}
-			h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire, Decision: dec.Format})
+			h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire,
+				Decision: dec.Format, Bucket: b.Index, LaunchAt: localTime})
 			return end
 		}
 		panic("core: adaptive controller returned unknown format " + dec.Format)

@@ -91,7 +91,18 @@ type Config struct {
 	// Profile and Compute drive the simulated clock.
 	Profile nn.CommProfile
 	Compute ddp.ComputeModel
+	// Overlap selects how bucket communication interleaves with backward
+	// compute: OverlapNone serializes them (the historical scalar clock);
+	// OverlapBackward launches each bucket's collective as its gradient
+	// becomes ready, the exact per-bucket timeline model (DESIGN.md §9).
 	Overlap ddp.Overlap
+	// RankCompute introduces per-rank compute heterogeneity — straggler
+	// multipliers and deterministically seeded per-iteration jitter. The
+	// zero value is the homogeneous cluster; netsim.OneSlowRank and
+	// netsim.RampRanks build the Multipliers presets. Heterogeneity moves
+	// only the simulated clocks: the data plane still averages identically,
+	// so replicas stay in lockstep (TestStragglerClocksKeepWeightsLockstep).
+	RankCompute ddp.RankCompute
 
 	// Seed determines everything: weights, data, shuffles, quantization.
 	Seed uint64
@@ -196,7 +207,19 @@ func (c *Config) validate() error {
 	if c.Compute.DeviceFLOPS == 0 {
 		c.Compute = ddp.A40ComputeModel(c.Profile.FLOPsPerSample)
 	}
+	if err := c.RankCompute.Validate(c.World); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	c.RankCompute = c.RankCompute.Canonical()
 	return nil
+}
+
+// TimelineActive reports whether the run uses the per-rank event-timeline
+// features — compute heterogeneity or per-bucket backward overlap. When
+// false, the trainer's clock arithmetic is bit-identical to the historical
+// scalar model, and so are every fingerprint and recorded result.
+func (c *Config) TimelineActive() bool {
+	return c.RankCompute.Enabled() || c.Overlap == ddp.OverlapBackward
 }
 
 // SchemeAdaptive names the cost-model-driven online compression scheme
@@ -218,6 +241,15 @@ func (c *Config) IsPacTrain() bool {
 // fabric-sensitive configs per operating point instead. A controller
 // restricted to a single candidate always picks it, making the log
 // fabric-independent again.
+//
+// The same sensitivity extends to the clock inputs of a decision: the
+// controller prices at the bucket's launch time, which moves with
+// Config.Compute, RankCompute, and Overlap — so a multi-candidate adaptive
+// log is only valid under the compute profile it was recorded with, too.
+// Static schemes and single-candidate controllers record op sequences that
+// depend on gradient values alone, which is what lets the stragglers
+// experiment re-cost one recording across every straggler profile and
+// overlap mode (DESIGN.md §9).
 func (c *Config) FabricSensitive() bool {
 	if c.Scheme != SchemeAdaptive {
 		return false

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"pactrain/internal/collective"
+	"pactrain/internal/ddp"
 )
 
 // Fingerprint returns a deterministic hex digest identifying everything
@@ -87,6 +88,22 @@ func (c *Config) Fingerprint() string {
 	w("profile", cp.Profile)
 	w("compute", cp.Compute)
 	w("overlap", int(cp.Overlap))
+	if cp.Overlap == ddp.OverlapBackward {
+		// The per-bucket timeline replaced the single-floor overlap
+		// approximation; this marker retires any pre-timeline
+		// overlap-backward digest (whose clock the old closed form priced)
+		// without touching the serialized default, whose key above is
+		// byte-identical to every historical fingerprint.
+		w("overlap_model", "per-bucket")
+	}
+	if cp.RankCompute.Enabled() {
+		// Emitted only when heterogeneity is on (validate canonicalized the
+		// knobs first), so homogeneous fingerprints — and every warm disk
+		// cache — are untouched.
+		w("rank_mult", cp.RankCompute.Multipliers)
+		w("rank_jitter", cp.RankCompute.JitterFrac)
+		w("rank_jitter_seed", cp.RankCompute.JitterSeed)
+	}
 	w("seed", cp.Seed)
 	w("record_comm", cp.RecordComm)
 

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"pactrain/internal/ddp"
 	"pactrain/internal/netsim"
 )
 
@@ -79,6 +80,26 @@ func TestFingerprintNormalizesDefaults(t *testing.T) {
 	if ad1.Fingerprint() != ad2.Fingerprint() {
 		t.Fatal("adaptive knobs split the key for a non-adaptive scheme")
 	}
+	// Heterogeneity knobs move the digest only when enabled: an all-unit
+	// multiplier slice and zero jitter are the homogeneous cluster spelled
+	// explicitly, and the keys are not even emitted there, so every
+	// pre-timeline fingerprint (and warm disk cache) is untouched.
+	rc1, rc2 := fpConfig(), fpConfig()
+	rc2.RankCompute.Multipliers = []float64{1, 1}
+	rc2.RankCompute.JitterSeed = 42 // dead without jitter
+	if rc1.Fingerprint() != rc2.Fingerprint() {
+		t.Fatal("explicit homogeneous RankCompute split the key")
+	}
+	trim1, trim2 := fpConfig(), fpConfig()
+	trim1.RankCompute.Multipliers = []float64{2}
+	trim2.RankCompute.Multipliers = []float64{2, 1}
+	if trim1.Fingerprint() != trim2.Fingerprint() {
+		t.Fatal("trailing unit multiplier split the key")
+	}
+	if trim1.Fingerprint() == rc1.Fingerprint() {
+		t.Fatal("an enabled straggler multiplier must move the digest")
+	}
+
 	// For the adaptive scheme, a nil candidate list and the explicit full
 	// set normalize to one key...
 	full1, full2 := fpConfig(), fpConfig()
@@ -132,6 +153,15 @@ func TestFingerprintDistinguishesResultChangingFields(t *testing.T) {
 		},
 		"topology":   func(c *Config) { c.Topology = netsim.FlatTopology(8, netsim.Gbps, 1e-4) },
 		"collective": func(c *Config) { c.Collective = "hierarchical" },
+		"overlap":    func(c *Config) { c.Overlap = ddp.OverlapBackward },
+		"rank_mult":  func(c *Config) { c.RankCompute.Multipliers = netsim.OneSlowRank(c.World, 2) },
+		"rank_jitter": func(c *Config) {
+			c.RankCompute.JitterFrac = 0.1
+		},
+		"rank_jitter_seed": func(c *Config) {
+			c.RankCompute.JitterFrac = 0.1
+			c.RankCompute.JitterSeed = 5
+		},
 	}
 	// The adaptive knobs change training output for the adaptive scheme.
 	adaptiveMutations := map[string]func(*Config){

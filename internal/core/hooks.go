@@ -65,10 +65,12 @@ func (h *denseHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
 	var end float64
 	if h.forcePS || h.comp.Transport() == compress.TransportPS {
 		end = h.env.cluster.PSAggregateSum(rank, payload, wire, localTime)
-		h.env.record(CommOp{Kind: OpPS, Elements: len(payload), Wire: wire})
+		h.env.record(CommOp{Kind: OpPS, Elements: len(payload), Wire: wire,
+			Bucket: b.Index, LaunchAt: localTime})
 	} else {
 		end = h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
-		h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire})
+		h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire,
+			Bucket: b.Index, LaunchAt: localTime})
 	}
 	h.comp.Decode(payload, b.Flat)
 	return end
@@ -113,7 +115,8 @@ func (h *sparseHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
 		sizes[i] = len(p.Values)
 		comp.DecodeSum(p, b.Flat)
 	}
-	h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire})
+	h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire,
+		Bucket: b.Index, LaunchAt: localTime})
 	return end
 }
 
@@ -143,7 +146,8 @@ func (h *omniReduceHook) Sync(rank int, b *ddp.Bucket, localTime float64) float6
 	for i := range blocks {
 		blocks[i] = union // conservative per-worker record; exact counts live in cluster stats
 	}
-	h.env.record(CommOp{Kind: OpBlockSparse, Blocks: blocks, Union: union, BlockSz: h.blockSize, Scale: scale})
+	h.env.record(CommOp{Kind: OpBlockSparse, Blocks: blocks, Union: union, BlockSz: h.blockSize,
+		Scale: scale, Bucket: b.Index, LaunchAt: localTime})
 	return end
 }
 
@@ -180,7 +184,8 @@ func (h *zenHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
 			b.Flat[id] += p.Values[j]
 		}
 	}
-	h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire})
+	h.env.record(CommOp{Kind: OpAllGather, Sizes: sizes, Wire: wire,
+		Bucket: b.Index, LaunchAt: localTime})
 	return end
 }
 
@@ -201,12 +206,14 @@ func unstableFullSync(env *hookEnv, tr *masktracker.Tracker, rank int, b *ddp.Bu
 	if payBitmap {
 		bitWire := env.scaleWire(collective.BitmapWire)
 		end = env.cluster.BroadcastScaledBitmap(rank, 0, b.Elements(), bitWire, localTime)
-		env.record(CommOp{Kind: OpBitmapBroadcast, Elements: b.Elements(), Wire: bitWire})
+		env.record(CommOp{Kind: OpBitmapBroadcast, Elements: b.Elements(), Wire: bitWire,
+			Bucket: b.Index, LaunchAt: localTime})
 		localTime = end
 	}
 	fullWire := env.scaleWire(collective.WireFP32)
 	end = env.cluster.AllReduceSum(rank, b.Flat, fullWire, localTime)
-	env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: fullWire})
+	env.record(CommOp{Kind: OpAllReduce, Elements: b.Elements(), Wire: fullWire,
+		Bucket: b.Index, LaunchAt: localTime})
 	return end, tr.Observe(b.Flat)
 }
 
@@ -276,7 +283,8 @@ func (h *pacTrainHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 
 		wire := h.env.scaleWire(mc.Wire())
 		end := h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
 		mc.Decode(payload, b.Flat)
-		h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire})
+		h.env.record(CommOp{Kind: OpAllReduce, Elements: len(payload), Wire: wire,
+			Bucket: b.Index, LaunchAt: localTime})
 		h.CompactSyncs++
 		// On the compact path the support is the mask by construction —
 		// GSE pins local supports inside it and Decode reproduces exactly

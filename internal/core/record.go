@@ -36,11 +36,33 @@ type CommOp struct {
 	// the log was recorded under, because a different fabric would have
 	// produced different decisions (Config.FabricSensitive, DESIGN.md §8).
 	Decision string `json:",omitempty"`
+	// Bucket is the DDP bucket index the op synchronized. Together with the
+	// log's BucketElems it lets the timeline re-coster rebuild the op's
+	// per-rank ready times (forward + the bucket's prefix share of
+	// backward) on any fabric and under any straggler profile.
+	Bucket int `json:",omitempty"`
+	// LaunchAt is the synchronized launch time the op actually started at
+	// during training — the max of the participants' ready clocks. It is a
+	// recorded observation for verification and per-rank log analysis; the
+	// timeline re-coster *derives* launches from the config instead (so it
+	// can re-price under other fabrics and straggler profiles) and
+	// TestStragglerRecostMatchesRecordedLaunches pins that the two agree.
+	LaunchAt float64 `json:",omitempty"`
 }
 
 // CommLog records the operations of every iteration on rank 0.
 type CommLog struct {
-	Iters [][]CommOp
+	// BucketElems holds each DDP bucket's element count in bucket order
+	// (reverse registration order) — the geometry behind the per-bucket
+	// backward ready model. Empty on logs recorded before the timeline
+	// refactor.
+	BucketElems []int `json:",omitempty"`
+	Iters       [][]CommOp
+}
+
+// SetBuckets records the bucket geometry (once, at training start).
+func (l *CommLog) SetBuckets(elems []int) {
+	l.BucketElems = elems
 }
 
 // StartIter opens a new iteration record.
@@ -67,24 +89,32 @@ func (l *CommLog) Record(op CommOp) {
 func CostIter(ops []CommOp, alg collective.Algorithm, f *netsim.Fabric, hosts []netsim.NodeID, t float64) float64 {
 	start := t
 	for _, op := range ops {
-		switch op.Kind {
-		case OpAllReduce:
-			t += alg.AllReduce(f, hosts, op.Elements, op.Wire, t)
-		case OpAllGather:
-			t += alg.AllGather(f, hosts, op.Sizes, op.Wire, t)
-		case OpPS:
-			t += collective.CostPSAggregate(f, hosts, op.Elements, op.Wire, t)
-		case OpBlockSparse:
-			t += collective.CostBlockSparseAggregate(f, hosts, op.Blocks, op.Union, op.BlockSz, op.Scale, t)
-		case OpBitmapBroadcast:
-			wire := op.Wire
-			if wire.BytesPerElement == 0 {
-				wire = collective.BitmapWire
-			}
-			t += alg.Broadcast(f, hosts, 0, wire.MessageBytes(op.Elements), t)
-		}
+		t += CostOp(op, alg, f, hosts, t)
 	}
 	return t - start
+}
+
+// CostOp prices one recorded operation starting at absolute time t — the
+// per-op unit CostIter serializes and the timeline re-coster launches at
+// reconstructed per-rank barrier times.
+func CostOp(op CommOp, alg collective.Algorithm, f *netsim.Fabric, hosts []netsim.NodeID, t float64) float64 {
+	switch op.Kind {
+	case OpAllReduce:
+		return alg.AllReduce(f, hosts, op.Elements, op.Wire, t)
+	case OpAllGather:
+		return alg.AllGather(f, hosts, op.Sizes, op.Wire, t)
+	case OpPS:
+		return collective.CostPSAggregate(f, hosts, op.Elements, op.Wire, t)
+	case OpBlockSparse:
+		return collective.CostBlockSparseAggregate(f, hosts, op.Blocks, op.Union, op.BlockSz, op.Scale, t)
+	case OpBitmapBroadcast:
+		wire := op.Wire
+		if wire.BytesPerElement == 0 {
+			wire = collective.BitmapWire
+		}
+		return alg.Broadcast(f, hosts, 0, wire.MessageBytes(op.Elements), t)
+	}
+	return 0
 }
 
 // WireBytesPerWorker returns the payload bytes one worker puts on the wire

@@ -13,6 +13,7 @@ import (
 	"pactrain/internal/netsim"
 	"pactrain/internal/nn"
 	"pactrain/internal/prune"
+	"pactrain/internal/simclock"
 	"pactrain/internal/tensor"
 )
 
@@ -140,6 +141,24 @@ func runWorker(cfg *Config, rank int, cluster *collective.Cluster,
 	shard := data.ShardDataset(trainSet, rank, cfg.World)
 	buckets := ddp.BuildBuckets(model, cfg.BucketBytes)
 
+	// The per-rank timeline model (DESIGN.md §9). Under per-bucket overlap
+	// each bucket's collective launches once its gradient is ready — forward
+	// plus the bucket's prefix share of backward, in reverse-registration
+	// order. With heterogeneity or overlap active, a clock-only rendezvous
+	// (LaunchBarrier) resolves every bucket's launch time before the hook
+	// runs, so lockstep decisions and the recorded log see the true
+	// synchronized start; when inactive, the arithmetic below reduces
+	// bit-exactly to the historical scalar clock.
+	timeline := cfg.TimelineActive()
+	elems := make([]int, len(buckets))
+	for i, b := range buckets {
+		elems[i] = b.Elements()
+	}
+	var prefix []float64
+	if cfg.Overlap == ddp.OverlapBackward {
+		prefix = simclock.PrefixShares(elems)
+	}
+
 	// Price the lite twin's buckets as slices of the full-size model's
 	// gradient: each logical element carries Profile.Params/liteParams
 	// wire elements (DESIGN.md §1).
@@ -150,6 +169,9 @@ func runWorker(cfg *Config, rank int, cluster *collective.Cluster,
 	env := &hookEnv{cluster: cluster, rank: rank, world: cfg.World, wireScale: wireScale}
 	if rank == 0 {
 		env.log = log
+		if log != nil {
+			log.SetBuckets(elems)
+		}
 	}
 	hook, err := buildHook(cfg, env)
 	if err != nil {
@@ -215,23 +237,31 @@ func runWorker(cfg *Config, rank int, cluster *collective.Cluster,
 				gse.Enforce(model, mask) // Eq. 2, every iteration
 			}
 
-			// Simulated compute, then bucket-by-bucket synchronization.
-			fwd := cfg.Compute.ForwardSeconds(len(labels))
-			bwd := cfg.Compute.BackwardSeconds(len(labels))
-			var floor float64
-			if cfg.Overlap == ddp.OverlapBackward {
-				simTime += fwd
-				floor = simTime + bwd
-			} else {
-				simTime += fwd + bwd
-			}
-			for _, b := range buckets {
+			// Simulated compute, then bucket-by-bucket synchronization on
+			// this rank's timeline. The Scale/ready/Finish expressions are
+			// shared with the harness re-coster (simclock.IterSchedule,
+			// ddp.RankCompute.Scale), which is what keeps re-costing
+			// bit-exact for per-rank logs.
+			scale := cfg.RankCompute.Scale(rank, iter)
+			fwd := cfg.Compute.ForwardSeconds(len(labels)) * scale
+			bwd := cfg.Compute.BackwardSeconds(len(labels)) * scale
+			sched := simclock.NewIterSchedule(simTime, fwd, bwd, prefix)
+			commEnd := sched.Start
+			for i, b := range buckets {
 				b.Gather()
-				simTime = hook.Sync(rank, b, simTime)
+				// Launch no earlier than this rank's bucket-ready time and
+				// never before the previous collective completed (one
+				// in-order communication stream, as real DDP schedules).
+				t := sched.ReadyAt(i)
+				if commEnd > t {
+					t = commEnd
+				}
+				if timeline {
+					t = cluster.LaunchBarrier(rank, t)
+				}
+				commEnd = hook.Sync(rank, b, t)
 			}
-			if floor > simTime {
-				simTime = floor
-			}
+			simTime = sched.Finish(commEnd)
 			for _, b := range buckets {
 				b.Scale(invWorld)
 				b.Scatter()

@@ -18,9 +18,12 @@ package ddp
 
 import (
 	"fmt"
+	"strings"
 
 	"pactrain/internal/nn"
 	"pactrain/internal/prune"
+	"pactrain/internal/simclock"
+	"pactrain/internal/tensor"
 )
 
 // DefaultBucketBytes mirrors PyTorch DDP's 25 MiB default bucket size.
@@ -171,6 +174,92 @@ func (c ComputeModel) IterSeconds(batch int) float64 {
 	return c.ForwardSeconds(batch) + c.BackwardSeconds(batch)
 }
 
+// RankCompute describes per-rank compute heterogeneity: stragglers, mixed
+// hardware, and per-iteration noise. The zero value models the historical
+// homogeneous cluster. All fields scale compute *time* — a multiplier of 2
+// means the rank runs twice as slowly.
+type RankCompute struct {
+	// Multipliers holds per-rank compute-time factors (rank r uses
+	// Multipliers[r]; ranks past the end run at 1.0). netsim carries presets
+	// such as OneSlowRank.
+	Multipliers []float64
+	// JitterFrac adds deterministic per-(rank, iteration) noise: each
+	// iteration's compute is scaled by 1 + JitterFrac·u with u drawn
+	// uniformly from [-1, 1) by a splitmix64 stream keyed on (JitterSeed,
+	// rank, iteration). Must sit in [0, 1).
+	JitterFrac float64
+	// JitterSeed seeds the jitter stream; two runs with equal seeds see
+	// identical jitter, which is what keeps re-costing exact.
+	JitterSeed uint64
+}
+
+// Enabled reports whether any heterogeneity is configured. A disabled
+// RankCompute leaves every compute time bit-identical to the homogeneous
+// model (Scale returns exactly 1).
+func (rc RankCompute) Enabled() bool {
+	return len(rc.Multipliers) > 0 || rc.JitterFrac > 0
+}
+
+// Canonical normalizes equivalent spellings onto one value so they share a
+// fingerprint: trailing unit multipliers are trimmed (ranks past the slice
+// already run at 1.0), an all-unit slice collapses to nil, and the jitter
+// seed is zeroed when jitter is off (a dead field must not split cache
+// keys).
+func (rc RankCompute) Canonical() RankCompute {
+	ms := rc.Multipliers
+	for len(ms) > 0 && ms[len(ms)-1] == 1 {
+		ms = ms[:len(ms)-1]
+	}
+	if len(ms) == 0 {
+		rc.Multipliers = nil
+	} else {
+		rc.Multipliers = append([]float64(nil), ms...)
+	}
+	if rc.JitterFrac <= 0 {
+		rc.JitterFrac, rc.JitterSeed = 0, 0
+	}
+	return rc
+}
+
+// Validate rejects non-positive multipliers, more multipliers than ranks,
+// and jitter outside [0, 1).
+func (rc RankCompute) Validate(world int) error {
+	if len(rc.Multipliers) > world {
+		return fmt.Errorf("ddp: %d rank-compute multipliers for %d ranks", len(rc.Multipliers), world)
+	}
+	for r, m := range rc.Multipliers {
+		if m <= 0 {
+			return fmt.Errorf("ddp: rank %d compute multiplier %v must be positive", r, m)
+		}
+	}
+	if rc.JitterFrac < 0 || rc.JitterFrac >= 1 {
+		return fmt.Errorf("ddp: compute jitter %v outside [0,1)", rc.JitterFrac)
+	}
+	return nil
+}
+
+// Scale returns the compute-time factor for one rank's iteration:
+// multiplier × (1 + jitter). It is a pure function of (rc, rank, iter), so
+// the trainer and the re-costing path (harness) reconstruct identical
+// per-rank clocks — the bit-exactness contract extends to heterogeneous
+// runs. When rc is disabled it returns exactly 1, and multiplying by it
+// leaves every float bit-identical.
+func (rc RankCompute) Scale(rank, iter int) float64 {
+	s := 1.0
+	if rank < len(rc.Multipliers) {
+		s = rc.Multipliers[rank]
+	}
+	if rc.JitterFrac > 0 {
+		// One splitmix64 draw keyed on (seed, rank, iter); odd multipliers
+		// keep distinct (rank, iter) pairs from colliding.
+		r := tensor.NewRNG(rc.JitterSeed*0x9E3779B97F4A7C15 +
+			uint64(rank)*0xBF58476D1CE4E5B9 + uint64(iter)*0x94D049BB133111EB + 1)
+		u := 2*r.Float64() - 1
+		s *= 1 + rc.JitterFrac*u
+	}
+	return s
+}
+
 // Overlap selects how bucket communication interleaves with backward
 // compute when composing iteration time.
 type Overlap int
@@ -181,12 +270,16 @@ const (
 	// model used for the headline results (the paper's bottleneck regimes
 	// are communication-dominated, where overlap barely matters).
 	OverlapNone Overlap = iota
-	// OverlapBackward hides communication under backward compute: the
-	// iteration pays forward + max(backward, comm), DDP's best case.
+	// OverlapBackward hides communication under backward compute: each
+	// bucket's collective launches once its gradient is ready (forward plus
+	// the bucket's prefix share of backward, reverse-registration order) and
+	// the iteration cannot finish before backward does — the exact
+	// per-bucket timeline model (simclock, DESIGN.md §9).
 	OverlapBackward
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The names round-trip through
+// ParseOverlap.
 func (o Overlap) String() string {
 	switch o {
 	case OverlapNone:
@@ -197,18 +290,60 @@ func (o Overlap) String() string {
 	return "unknown"
 }
 
+// OverlapNames lists the selector vocabulary ParseOverlap accepts, in mode
+// order.
+func OverlapNames() []string { return []string{"none", "backward"} }
+
+// ParseOverlap resolves a CLI/API selector to an Overlap mode. The empty
+// string means OverlapNone (the historical default); unknown names error
+// with the valid vocabulary.
+func ParseOverlap(name string) (Overlap, error) {
+	switch name {
+	case "", OverlapNone.String():
+		return OverlapNone, nil
+	case OverlapBackward.String():
+		return OverlapBackward, nil
+	}
+	return 0, fmt.Errorf("ddp: unknown overlap mode %q (have %s)",
+		name, strings.Join(OverlapNames(), ", "))
+}
+
+// MustOverlap is ParseOverlap for callers whose input was already
+// validated; it panics on unknown names.
+func MustOverlap(name string) Overlap {
+	o, err := ParseOverlap(name)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
 // IterationTime composes one iteration's simulated duration from compute
-// and communication seconds under the given overlap model.
+// and a single communication total under the given overlap model.
+// OverlapBackward delegates to the per-bucket timeline composition
+// (simclock.ComposeIteration) with one bucket that is ready the moment
+// forward finishes — the ideal-overlap closed form; see
+// IdealOverlapIterationTime for why that is a bound, not the exact
+// schedule.
 func IterationTime(c ComputeModel, batch int, commSeconds float64, o Overlap) float64 {
 	switch o {
 	case OverlapNone:
 		return c.IterSeconds(batch) + commSeconds
 	case OverlapBackward:
-		bw := c.BackwardSeconds(batch)
-		if commSeconds > bw {
-			return c.ForwardSeconds(batch) + commSeconds
-		}
-		return c.IterSeconds(batch)
+		return IdealOverlapIterationTime(c, batch, commSeconds)
 	}
 	panic(fmt.Sprintf("ddp: unknown overlap mode %d", o))
+}
+
+// IdealOverlapIterationTime is the pre-timeline closed form, forward +
+// max(backward, comm): communication behaves as a single bucket launched
+// the moment forward completes, with every byte free to overlap backward.
+// Real DDP buckets become ready only as backward produces them, so this is
+// an upper bound on achievable overlap — equivalently a lower bound on the
+// true iteration time. The trainer prices the exact per-bucket schedule
+// instead (simclock.IterSchedule); keep this helper for scalar-comm
+// estimates and as the documented best case.
+func IdealOverlapIterationTime(c ComputeModel, batch int, commSeconds float64) float64 {
+	s := simclock.NewIterSchedule(0, c.ForwardSeconds(batch), c.BackwardSeconds(batch), []float64{0})
+	return simclock.ComposeIteration(s, 1, func(int, float64) float64 { return commSeconds })
 }

@@ -2,6 +2,7 @@ package ddp
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"pactrain/internal/nn"
@@ -186,5 +187,103 @@ func TestIterationTimeOverlap(t *testing.T) {
 	}
 	if OverlapNone.String() != "none" || OverlapBackward.String() != "backward" {
 		t.Fatal("Overlap.String broken")
+	}
+}
+
+func TestOverlapParseRoundTrip(t *testing.T) {
+	for _, o := range []Overlap{OverlapNone, OverlapBackward} {
+		got, err := ParseOverlap(o.String())
+		if err != nil || got != o {
+			t.Fatalf("ParseOverlap(%q) = %v, %v; want %v", o.String(), got, err, o)
+		}
+	}
+	if got, err := ParseOverlap(""); err != nil || got != OverlapNone {
+		t.Fatalf("empty selector = %v, %v; want OverlapNone", got, err)
+	}
+	if _, err := ParseOverlap("sideways"); err == nil {
+		t.Fatal("unknown overlap mode must error")
+	} else if !strings.Contains(err.Error(), "none") || !strings.Contains(err.Error(), "backward") {
+		t.Fatalf("error should list the vocabulary: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustOverlap must panic on unknown names")
+		}
+	}()
+	MustOverlap("sideways")
+}
+
+func TestIdealOverlapIsTheClosedForm(t *testing.T) {
+	c := A40ComputeModel(1e9)
+	for _, comm := range []float64{1e-9, 1e-4, 1.0} {
+		got := IdealOverlapIterationTime(c, 32, comm)
+		want := c.ForwardSeconds(32) + math.Max(c.BackwardSeconds(32), comm)
+		if got != want {
+			t.Fatalf("comm %v: ideal overlap %v, want fwd+max(bwd,comm) = %v", comm, got, want)
+		}
+		if IterationTime(c, 32, comm, OverlapBackward) != got {
+			t.Fatal("IterationTime(OverlapBackward) must delegate to the ideal-overlap form")
+		}
+	}
+}
+
+func TestRankComputeScale(t *testing.T) {
+	var rc RankCompute
+	if rc.Enabled() {
+		t.Fatal("zero RankCompute must be disabled")
+	}
+	if s := rc.Scale(3, 17); s != 1.0 {
+		t.Fatalf("disabled Scale = %v, want exactly 1", s)
+	}
+	rc = RankCompute{Multipliers: []float64{1, 1, 2}}
+	if rc.Scale(2, 0) != 2 || rc.Scale(0, 0) != 1 || rc.Scale(5, 0) != 1 {
+		t.Fatal("multiplier lookup broken (ranks past the slice run at 1)")
+	}
+	// Jitter is deterministic in (seed, rank, iter) and bounded by the
+	// fraction.
+	j := RankCompute{JitterFrac: 0.25, JitterSeed: 9}
+	for rank := 0; rank < 3; rank++ {
+		for iter := 0; iter < 5; iter++ {
+			a, b := j.Scale(rank, iter), j.Scale(rank, iter)
+			if a != b {
+				t.Fatalf("jitter not deterministic at (%d,%d): %v vs %v", rank, iter, a, b)
+			}
+			if a < 0.75 || a >= 1.25 {
+				t.Fatalf("jitter scale %v outside [0.75, 1.25)", a)
+			}
+		}
+	}
+	if j.Scale(0, 1) == j.Scale(0, 2) && j.Scale(0, 2) == j.Scale(0, 3) {
+		t.Fatal("jitter constant across iterations")
+	}
+	if j.Scale(0, 1) == j.Scale(1, 1) && j.Scale(1, 1) == j.Scale(2, 1) {
+		t.Fatal("jitter constant across ranks")
+	}
+}
+
+func TestRankComputeCanonicalAndValidate(t *testing.T) {
+	rc := RankCompute{Multipliers: []float64{1, 2, 1, 1}, JitterSeed: 99}
+	canon := rc.Canonical()
+	if len(canon.Multipliers) != 2 || canon.Multipliers[1] != 2 {
+		t.Fatalf("trailing unit multipliers not trimmed: %v", canon.Multipliers)
+	}
+	if canon.JitterSeed != 0 {
+		t.Fatal("jitter seed is dead without jitter and must zero")
+	}
+	all1 := RankCompute{Multipliers: []float64{1, 1}}
+	if c := all1.Canonical(); c.Enabled() {
+		t.Fatalf("all-unit multipliers must canonicalize to disabled: %+v", c)
+	}
+	if err := (RankCompute{Multipliers: []float64{1, -2}}).Validate(4); err == nil {
+		t.Fatal("negative multiplier must fail validation")
+	}
+	if err := (RankCompute{Multipliers: []float64{1, 1, 1}}).Validate(2); err == nil {
+		t.Fatal("more multipliers than ranks must fail validation")
+	}
+	if err := (RankCompute{JitterFrac: 1}).Validate(2); err == nil {
+		t.Fatal("jitter 1 must fail validation")
+	}
+	if err := (RankCompute{Multipliers: []float64{2, 0.5}, JitterFrac: 0.1}).Validate(2); err != nil {
+		t.Fatalf("valid heterogeneity rejected: %v", err)
 	}
 }

@@ -42,15 +42,29 @@ func (c *Cache) path(fp string) string {
 	return filepath.Join(c.dir, fp+".json")
 }
 
+// entryCurrent reports whether a stored Result carries everything current
+// consumers need. Recorded logs from before the per-rank timeline refactor
+// lack the bucket geometry (CommLog.BucketElems) the timeline re-coster
+// requires (DESIGN.md §9) — their fingerprints still match, but serving
+// them would panic a straggler-grid or overlap re-cost downstream. Such
+// entries are treated as misses (and swept), so they retrain once and
+// rewrite with the full schema; results recorded without a comm log stay
+// valid.
+func entryCurrent(res *core.Result) bool {
+	return res.CommLog == nil || len(res.CommLog.BucketElems) > 0
+}
+
 // Load fetches the Result for a fingerprint; ok is false on miss, version
-// skew, or a corrupt entry (all treated as misses).
+// skew, a corrupt entry, or an entry missing data the current schema
+// records (all treated as misses).
 func (c *Cache) Load(fp string) (*core.Result, bool) {
 	raw, err := os.ReadFile(c.path(fp))
 	if err != nil {
 		return nil, false
 	}
 	var entry cacheEntry
-	if err := json.Unmarshal(raw, &entry); err != nil || entry.Version != cacheVersion || entry.Result == nil {
+	if err := json.Unmarshal(raw, &entry); err != nil || entry.Version != cacheVersion ||
+		entry.Result == nil || !entryCurrent(entry.Result) {
 		return nil, false
 	}
 	// Wall time is a property of the recorded process, meaningless here.
@@ -103,7 +117,8 @@ func (s SweepResult) String() string {
 }
 
 // Sweep deletes entries that can never hit again — version skew from an
-// older cacheVersion and corrupt or truncated JSON — plus temp files
+// older cacheVersion, corrupt or truncated JSON, and recorded logs missing
+// the current schema's bucket geometry (entryCurrent) — plus temp files
 // orphaned by a crashed writer. Without it stale entries accumulate
 // forever, since Load treats them as silent misses. A missing cache
 // directory sweeps nothing.
@@ -137,7 +152,7 @@ func (c *Cache) Sweep() (SweepResult, error) {
 		raw, readErr := os.ReadFile(path)
 		var entry cacheEntry
 		if readErr == nil && json.Unmarshal(raw, &entry) == nil &&
-			entry.Version == cacheVersion && entry.Result != nil {
+			entry.Version == cacheVersion && entry.Result != nil && entryCurrent(entry.Result) {
 			sr.Kept++
 			continue
 		}

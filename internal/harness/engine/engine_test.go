@@ -213,6 +213,43 @@ func TestCacheVersionSkewIsMiss(t *testing.T) {
 	}
 }
 
+// TestCachePreTimelineLogIsMiss guards against serving recorded logs from
+// before the per-rank timeline refactor: their fingerprints still match,
+// but they lack the bucket geometry (CommLog.BucketElems) the timeline
+// re-coster needs, so Load must miss — and Sweep must remove them — rather
+// than panic a straggler-grid or overlap re-cost downstream.
+func TestCachePreTimelineLogIsMiss(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c := NewCache(dir)
+	legacy := &core.Result{Scheme: "all-reduce", Model: "MLP",
+		CommLog: &core.CommLog{Iters: [][]core.CommOp{{{Kind: core.OpAllReduce, Elements: 4}}}}}
+	if err := c.Store("cafe01", legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("cafe01"); ok {
+		t.Fatal("pre-timeline log (no BucketElems) must miss")
+	}
+	sr, err := c.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Swept != 1 || sr.Kept != 0 {
+		t.Fatalf("sweep = %+v, want the geometry-less entry removed", sr)
+	}
+
+	// The same log with geometry is current and must round-trip.
+	current := &core.Result{Scheme: "all-reduce", Model: "MLP",
+		CommLog: &core.CommLog{BucketElems: []int{4},
+			Iters: [][]core.CommOp{{{Kind: core.OpAllReduce, Elements: 4}}}}}
+	if err := c.Store("cafe02", current); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("cafe02"); !ok {
+		t.Fatal("current log reported as miss")
+	}
+}
+
 func TestParallelismBoundsConcurrency(t *testing.T) {
 	t.Parallel()
 	// Observe concurrency through the engine's own semaphore: with

@@ -44,6 +44,8 @@ func Experiments() []Definition {
 			func(o Options) (Report, error) { return RunCollectives(o) }},
 		{"adaptive", "online compression controller vs static wire formats (WAN fabrics)",
 			func(o Options) (Report, error) { return RunAdaptive(o) }},
+		{"stragglers", "heterogeneous-compute straggler grid (scheme × overlap × severity, Fig. 4 fabric)",
+			func(o Options) (Report, error) { return RunStragglers(o) }},
 	}
 }
 

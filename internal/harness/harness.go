@@ -23,14 +23,17 @@ package harness
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"pactrain/internal/collective"
 	"pactrain/internal/core"
 	"pactrain/internal/data"
+	"pactrain/internal/ddp"
 	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 	"pactrain/internal/nn"
+	"pactrain/internal/simclock"
 )
 
 // Workload couples a paper model with its calibrated training recipe and
@@ -83,6 +86,13 @@ type Options struct {
 	// paper's flat ring and the historical behavior). "ring" normalizes to
 	// empty so both spellings share cache keys and coalesce in the service.
 	Collective string
+	// Overlap selects the backward-overlap model every job config trains
+	// and re-costs under ("none", "backward"; empty = none, the historical
+	// serialized clock). "none" normalizes to empty so both spellings share
+	// cache keys and coalesce in the service. "backward" prices each DDP
+	// bucket's collective at its per-rank gradient-ready barrier (DESIGN.md
+	// §9).
+	Overlap string
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 
@@ -126,6 +136,9 @@ func (o *Options) defaults() {
 	}
 	if o.Collective == collective.DefaultAlgorithm {
 		o.Collective = ""
+	}
+	if o.Overlap == ddp.OverlapNone.String() {
+		o.Overlap = ""
 	}
 	if o.Log == nil {
 		o.Log = io.Discard
@@ -195,6 +208,10 @@ func baseConfig(w Workload, scheme string, opt Options) core.Config {
 	cfg.TargetAcc = w.TargetAcc
 	cfg.Seed = opt.Seed
 	cfg.Collective = opt.Collective
+	// Options.Overlap was validated by every public entry point (the CLIs
+	// exit 2, the service rejects with 400); MustOverlap flags programmer
+	// error on the direct-API path.
+	cfg.Overlap = ddp.MustOverlap(opt.Overlap)
 	cfg.RecordComm = true
 	cfg.BottleneckBps = 1 * netsim.Gbps
 	// Evaluate twice per epoch so TTA crossings resolve at sub-epoch
@@ -245,8 +262,14 @@ func recostCum(res *core.Result, cfg *core.Config, fabric *netsim.Fabric) []floa
 
 // recostCumWith is recostCum under an explicit collective algorithm — the
 // recorded operations are algorithm-independent, so the collectives
-// experiment prices one training under every algorithm.
+// experiment prices one training under every algorithm. Configs using the
+// per-rank timeline features (compute heterogeneity, per-bucket overlap)
+// route through the timeline re-coster; everything else keeps the
+// historical serial arithmetic, bit-identical to every cached run.
 func recostCumWith(alg collective.Algorithm, res *core.Result, cfg *core.Config, fabric *netsim.Fabric) []float64 {
+	if cfg.TimelineActive() {
+		return recostCumTimeline(alg, res, cfg, fabric)
+	}
 	hosts := fabric.Topo.Hosts()[:cfg.World]
 	computeIter := cfg.Compute.IterSeconds(cfg.BatchSize)
 	cum := make([]float64, len(res.CommLog.Iters)+1)
@@ -255,6 +278,60 @@ func recostCumWith(alg collective.Algorithm, res *core.Result, cfg *core.Config,
 		t += computeIter
 		t += core.CostIter(ops, alg, fabric, hosts, t)
 		cum[i+1] = t
+	}
+	return cum
+}
+
+// recostCumTimeline replays a recorded log on per-rank event timelines
+// (DESIGN.md §9): every rank's clock advances by its own heterogeneity- and
+// jitter-scaled compute, each op launches at the barrier over the ranks'
+// bucket-ready times (max of ready clocks — a straggler holds the ring),
+// and each iteration ends at rank 0's compute floor or the last
+// collective's completion, whichever is later. The launches are *derived*
+// from cfg — the same simclock/ddp expressions the trainer evaluates — not
+// read from the recorded LaunchAt, so a log recorded under one straggler
+// profile and overlap mode re-prices exactly under any other (the recorded
+// op sequence is compute-independent for every fabric-insensitive scheme,
+// like it is bandwidth-independent). cum[i] is rank 0's clock after i
+// iterations; on the recorded configuration it reproduces the training
+// clock bit-for-bit (TestStragglerRecostReproducesTraining).
+func recostCumTimeline(alg collective.Algorithm, res *core.Result, cfg *core.Config, fabric *netsim.Fabric) []float64 {
+	log := res.CommLog
+	hosts := fabric.Topo.Hosts()[:cfg.World]
+	var prefix []float64
+	if cfg.Overlap == ddp.OverlapBackward {
+		if len(log.BucketElems) == 0 {
+			panic("harness: per-bucket overlap re-costing needs a log with bucket geometry (recorded pre-timeline?)")
+		}
+		prefix = simclock.PrefixShares(log.BucketElems)
+	}
+	fwd := cfg.Compute.ForwardSeconds(cfg.BatchSize)
+	bwd := cfg.Compute.BackwardSeconds(cfg.BatchSize)
+	tl := simclock.NewTimeline(cfg.World)
+	scheds := make([]simclock.IterSchedule, cfg.World)
+	cum := make([]float64, len(log.Iters)+1)
+	for k, ops := range log.Iters {
+		for r := range scheds {
+			scale := cfg.RankCompute.Scale(r, k)
+			scheds[r] = simclock.NewIterSchedule(tl.Clock(r), fwd*scale, bwd*scale, prefix)
+		}
+		commEnd := math.Inf(-1)
+		for _, op := range ops {
+			bucket := op.Bucket
+			launch := tl.LaunchTime(func(r int) float64 { return scheds[r].ReadyAt(bucket) })
+			if commEnd > launch {
+				// One in-order communication stream: an op never launches
+				// before the previous one completed (within a bucket, the
+				// follow-up op's ready times are already past the first's
+				// end, so this max is exactly the trainer's).
+				launch = commEnd
+			}
+			commEnd = launch + core.CostOp(op, alg, fabric, hosts, launch)
+		}
+		for r := range scheds {
+			tl.Set(r, scheds[r].Finish(commEnd))
+		}
+		cum[k+1] = tl.Clock(0)
 	}
 	return cum
 }

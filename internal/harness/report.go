@@ -20,6 +20,9 @@ type JSONReport struct {
 	// Collective records a non-default collective algorithm; omitted for
 	// the ring default so historical report bytes are unchanged.
 	Collective string `json:"collective,omitempty"`
+	// Overlap records a non-default backward-overlap model; omitted for the
+	// serialized default so historical report bytes are unchanged.
+	Overlap string `json:"overlap,omitempty"`
 	// Report is the experiment's result struct.
 	Report any `json:"report"`
 }
@@ -32,6 +35,7 @@ func ReportJSON(id string, opt Options, report any) ([]byte, error) {
 		Seed:       opt.Seed,
 		Quick:      opt.Quick,
 		Collective: opt.Collective,
+		Overlap:    opt.Overlap,
 		Report:     report,
 	}, "", "  ")
 	if err != nil {

@@ -303,6 +303,48 @@ func (f *Fabric) ResetAccounting() {
 	f.TotalBytes = 0
 }
 
+// --- Straggler presets ------------------------------------------------------
+//
+// The cluster scenarios the paper's related work targets (hierarchical and
+// heterogeneous deployments) rarely have uniform workers. These presets
+// return per-rank compute-time multipliers for ddp.RankCompute.Multipliers;
+// netsim hosts them next to the topology presets so an experiment picks its
+// fabric and its straggler profile from one vocabulary.
+
+// OneSlowRank returns multipliers for a world of n ranks where the last
+// rank runs factor× slower (factor 2 = half speed) and every other rank is
+// nominal — the canonical single-straggler scenario. factor 1 models the
+// uniform cluster.
+func OneSlowRank(n int, factor float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	ms := make([]float64, n)
+	for i := range ms {
+		ms[i] = 1
+	}
+	ms[n-1] = factor
+	return ms
+}
+
+// RampRanks returns multipliers that ramp linearly from 1 (rank 0) to
+// maxFactor (last rank) — a mixed-hardware cluster where each generation is
+// a bit slower than the last.
+func RampRanks(n int, maxFactor float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	ms := make([]float64, n)
+	for i := range ms {
+		if n == 1 {
+			ms[i] = maxFactor
+			continue
+		}
+		ms[i] = 1 + (maxFactor-1)*float64(i)/float64(n-1)
+	}
+	return ms
+}
+
 // --- Topology presets -------------------------------------------------------
 
 // Fig4Options configures the paper's evaluation topology.

@@ -211,3 +211,23 @@ func TestFlatTopology(t *testing.T) {
 		t.Fatal("FlatTopology should have no inter-switch links")
 	}
 }
+
+func TestStragglerPresets(t *testing.T) {
+	ms := OneSlowRank(4, 2.0)
+	want := []float64{1, 1, 1, 2}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Fatalf("OneSlowRank(4, 2) = %v, want %v", ms, want)
+		}
+	}
+	if OneSlowRank(0, 2) != nil {
+		t.Fatal("OneSlowRank with no ranks must be nil")
+	}
+	ramp := RampRanks(3, 2.0)
+	if ramp[0] != 1 || ramp[1] != 1.5 || ramp[2] != 2 {
+		t.Fatalf("RampRanks(3, 2) = %v, want [1 1.5 2]", ramp)
+	}
+	if one := RampRanks(1, 3.0); one[0] != 3 {
+		t.Fatalf("single-rank ramp = %v, want [3]", one)
+	}
+}

@@ -71,7 +71,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	view, coalesced, err := s.Submit(req)
 	if err != nil {
 		switch {
-		case errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrUnknownCollective):
+		case errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrUnknownCollective),
+			errors.Is(err, ErrUnknownOverlap):
 			writeError(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)

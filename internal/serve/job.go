@@ -21,6 +21,10 @@ type SubmitRequest struct {
 	// ("ring", "tree", "hierarchical"; empty = ring). "ring" and empty
 	// coalesce onto the same job.
 	Collective string `json:"collective,omitempty"`
+	// Overlap selects the backward-overlap model for every job in the grid
+	// ("none", "backward"; empty = none). "none" and empty coalesce onto
+	// the same job.
+	Overlap string `json:"overlap,omitempty"`
 }
 
 // JobState is a job's lifecycle position.
@@ -73,8 +77,8 @@ type job struct {
 // same key describe byte-identical reports, so concurrent clients share
 // one job.
 func submitKey(id string, o harness.Options) string {
-	return fmt.Sprintf("%s quick=%t world=%d samples=%d seed=%d collective=%s",
-		id, o.Quick, o.World, o.Samples, o.Seed, o.Collective)
+	return fmt.Sprintf("%s quick=%t world=%d samples=%d seed=%d collective=%s overlap=%s",
+		id, o.Quick, o.World, o.Samples, o.Seed, o.Collective, o.Overlap)
 }
 
 // JobView is the wire representation of a job for the status endpoints.
@@ -107,6 +111,7 @@ func (j *job) view() JobView {
 			Samples:    j.opts.Samples,
 			Seed:       j.opts.Seed,
 			Collective: j.opts.Collective,
+			Overlap:    j.opts.Overlap,
 		},
 		Progress: j.progress,
 		Error:    j.errMsg,

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"pactrain/internal/collective"
+	"pactrain/internal/ddp"
 	"pactrain/internal/harness"
 	"pactrain/internal/harness/engine"
 	"pactrain/internal/metrics"
@@ -42,6 +43,9 @@ var (
 	// ErrUnknownCollective rejects collective-algorithm names missing from
 	// the collective registry (400).
 	ErrUnknownCollective = errors.New("unknown collective algorithm")
+	// ErrUnknownOverlap rejects backward-overlap selectors outside the
+	// ddp.OverlapNames vocabulary (400).
+	ErrUnknownOverlap = errors.New("unknown overlap mode")
 	// ErrDraining rejects submissions during graceful shutdown (503).
 	ErrDraining = errors.New("server is draining")
 	// ErrQueueFull rejects submissions when the job queue is at capacity
@@ -202,12 +206,17 @@ func (s *Server) Submit(req SubmitRequest) (JobView, bool, error) {
 		return JobView{}, false, fmt.Errorf("%w: %q (valid names: %s)",
 			ErrUnknownCollective, req.Collective, strings.Join(collective.AlgorithmNames(), ", "))
 	}
+	if _, err := ddp.ParseOverlap(req.Overlap); err != nil {
+		return JobView{}, false, fmt.Errorf("%w: %q (valid names: %s)",
+			ErrUnknownOverlap, req.Overlap, strings.Join(ddp.OverlapNames(), ", "))
+	}
 	opts := harness.Options{
 		Quick:      req.Quick,
 		World:      req.World,
 		Samples:    req.Samples,
 		Seed:       req.Seed,
 		Collective: req.Collective,
+		Overlap:    req.Overlap,
 	}.Normalized()
 	key := submitKey(def.ID, opts)
 

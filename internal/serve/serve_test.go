@@ -312,6 +312,58 @@ func TestSubmitValidation(t *testing.T) {
 	if !strings.Contains(string(raw), "hierarchical") {
 		t.Fatalf("rejection does not list valid collective names: %s", raw)
 	}
+
+	req = testRequest("fig3")
+	req.Overlap = "sideways"
+	resp, raw = postJSON(t, ts.URL+"/v1/experiments", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown overlap status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "backward") {
+		t.Fatalf("rejection does not list valid overlap modes: %s", raw)
+	}
+}
+
+// TestOverlapSubmissionCoalescing covers the overlap dimension of the
+// submission key: "none" and the empty default coalesce onto one job, while
+// "backward" gets its own.
+func TestOverlapSubmissionCoalescing(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	// Saturate the single worker so subsequent submissions stay queued and
+	// coalescible while we compare their job ids.
+	blocker, _ := postJSON(t, ts.URL+"/v1/experiments", testRequest("ablation-tern"))
+	if blocker.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d", blocker.StatusCode)
+	}
+	submit := func(overlap string) submitResponse {
+		req := testRequest("ablation-topo")
+		req.Overlap = overlap
+		resp, raw := postJSON(t, ts.URL+"/v1/experiments", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit(overlap=%q) status %d: %s", overlap, resp.StatusCode, raw)
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(raw, &sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	def := submit("")
+	none := submit("none")
+	if none.JobID != def.JobID || !none.Coalesced {
+		t.Fatalf("\"none\" did not coalesce onto the empty default: %+v vs %+v", none, def)
+	}
+	backward := submit("backward")
+	if backward.JobID == def.JobID {
+		t.Fatal("backward submission coalesced onto the serialized job")
+	}
+	if backward.Job.Options.Overlap != "backward" {
+		t.Fatalf("job view lost the overlap mode: %+v", backward.Job.Options)
+	}
+	waitForState(t, ts.URL, backward.JobID, JobDone)
+	waitForState(t, ts.URL, def.JobID, JobDone)
 }
 
 // TestSchemesEndpointAndCollectiveCoalescing covers the scheme catalog and

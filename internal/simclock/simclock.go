@@ -1,0 +1,180 @@
+// Package simclock is the per-rank event-timeline core of the simulated
+// cost plane. The original trainer advanced one scalar clock shared by all
+// ranks, which cannot express the two scenarios where gradient compression
+// matters most in practice: communication hidden under backward compute
+// (DGC's motivating overlap argument) and heterogeneous or straggling
+// workers. This package replaces the scalar with events on per-rank
+// timelines:
+//
+//   - a Timeline holds one simulated clock per rank;
+//   - an IterSchedule describes one rank's compute for one iteration —
+//     forward, backward, and the per-bucket gradient ready times under
+//     DDP's reverse-registration model (bucket i becomes ready once forward
+//     plus its prefix share of backward has run);
+//   - a collective's launch time is a barrier: the maximum of the
+//     participants' ready times (LaunchTime), because a straggler holds the
+//     whole ring;
+//   - ComposeIteration serializes a rank's bucket collectives against the
+//     schedule, reproducing the single in-order communication stream real
+//     DDP launches NCCL work on.
+//
+// The trainer (internal/core) realizes the launch barrier through the
+// cluster rendezvous while workers run concurrently; the re-costing path
+// (internal/harness) replays the same arithmetic sequentially over a
+// recorded log. Both paths evaluate the expressions below with identical
+// operand order, which is what makes re-costing bit-exact (DESIGN.md §9).
+package simclock
+
+import "math"
+
+// Timeline holds one simulated clock per rank. The zero clock is time zero;
+// clocks only ever move forward.
+type Timeline struct {
+	clocks []float64
+}
+
+// NewTimeline builds a timeline for world ranks, all at time zero.
+func NewTimeline(world int) *Timeline {
+	return &Timeline{clocks: make([]float64, world)}
+}
+
+// World returns the number of ranks.
+func (t *Timeline) World() int { return len(t.clocks) }
+
+// Clock returns rank's current simulated time.
+func (t *Timeline) Clock(rank int) float64 { return t.clocks[rank] }
+
+// Set moves rank's clock to v.
+func (t *Timeline) Set(rank int, v float64) { t.clocks[rank] = v }
+
+// Advance moves rank's clock forward by d and returns the new time.
+func (t *Timeline) Advance(rank int, d float64) float64 {
+	t.clocks[rank] += d
+	return t.clocks[rank]
+}
+
+// Max returns the latest clock — the time at which a full barrier would
+// release.
+func (t *Timeline) Max() float64 {
+	m := math.Inf(-1)
+	for _, c := range t.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// LaunchTime returns the synchronization barrier for a collective whose
+// per-rank ready times are given by ready: the launch is the maximum ready
+// time across ranks. This is the event-timeline form of the cluster
+// rendezvous — no rank's bytes move before the slowest rank's gradient
+// exists.
+func (t *Timeline) LaunchTime(ready func(rank int) float64) float64 {
+	launch := math.Inf(-1)
+	for r := range t.clocks {
+		if v := ready(r); v > launch {
+			launch = v
+		}
+	}
+	return launch
+}
+
+// PrefixShares converts DDP bucket element counts (in bucket order, which is
+// reverse registration order) into cumulative backward shares: shares[i] is
+// the fraction of backward compute that has run once bucket i's gradients
+// exist. Backward produces gradients in reverse registration order — bucket
+// 0 first — and each bucket's slice of backward is proportional to its
+// element count, the same proxy DDP's bucket sizing uses. The last share is
+// exactly 1.
+func PrefixShares(sizes []int) []float64 {
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	shares := make([]float64, len(sizes))
+	if total == 0 {
+		for i := range shares {
+			shares[i] = 1
+		}
+		return shares
+	}
+	cum := 0
+	for i, n := range sizes {
+		cum += n
+		shares[i] = float64(cum) / float64(total)
+	}
+	shares[len(shares)-1] = 1
+	return shares
+}
+
+// IterSchedule describes one rank's compute for one iteration: when it
+// started, how long forward and backward take on this rank (heterogeneity
+// and jitter already applied), and — under per-bucket overlap — the prefix
+// shares that time each bucket's gradient becoming ready.
+type IterSchedule struct {
+	// Start is the rank's clock when the iteration began.
+	Start float64
+	// Fwd and Bwd are this rank's forward and backward durations.
+	Fwd, Bwd float64
+
+	// prefix holds the per-bucket cumulative backward shares; nil models the
+	// serialized (no-overlap) clock where every bucket waits for the full
+	// backward pass.
+	prefix []float64
+}
+
+// NewIterSchedule builds a schedule. prefix is the PrefixShares of the
+// bucket sizes when communication overlaps backward, or nil for the
+// serialized model.
+func NewIterSchedule(start, fwd, bwd float64, prefix []float64) IterSchedule {
+	return IterSchedule{Start: start, Fwd: fwd, Bwd: bwd, prefix: prefix}
+}
+
+// ComputeDone returns when this rank's compute for the iteration finishes.
+// The operand order (start + (fwd + bwd)) is load-bearing: it matches the
+// historical scalar clock bit-for-bit, so serialized homogeneous runs keep
+// their exact simulated times.
+func (s IterSchedule) ComputeDone() float64 {
+	return s.Start + (s.Fwd + s.Bwd)
+}
+
+// ReadyAt returns when bucket i's gradient is ready on this rank — the
+// earliest time the rank could contribute it to a collective. Without
+// overlap every bucket waits for the full backward pass; with overlap,
+// bucket i is ready after forward plus its prefix share of backward
+// (reverse-registration order, bucket 0 first).
+func (s IterSchedule) ReadyAt(i int) float64 {
+	if s.prefix == nil {
+		return s.ComputeDone()
+	}
+	return s.Start + s.Fwd + s.Bwd*s.prefix[i]
+}
+
+// Finish returns the rank's end-of-iteration clock: the later of its
+// compute floor and the last collective's completion. This is the floor
+// logic the trainer used to inline — communication may hide under backward,
+// but the optimizer step cannot run before backward itself finishes.
+func (s IterSchedule) Finish(commEnd float64) float64 {
+	if done := s.ComputeDone(); done > commEnd {
+		return done
+	}
+	return commEnd
+}
+
+// ComposeIteration serializes n bucket collectives against a single rank's
+// schedule: bucket i launches at max(previous bucket's end, ReadyAt(i)),
+// pays cost(i, launch), and the iteration ends at Finish(last end). It is
+// the one-rank closed form of the timeline model — the trainer realizes the
+// same composition across concurrent workers via the cluster rendezvous.
+func ComposeIteration(s IterSchedule, n int, cost func(bucket int, launch float64) float64) float64 {
+	end := s.Start
+	for i := 0; i < n; i++ {
+		launch := s.ReadyAt(i)
+		if end > launch {
+			launch = end
+		}
+		end = launch + cost(i, launch)
+	}
+	return s.Finish(end)
+}

@@ -1,0 +1,119 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrefixShares(t *testing.T) {
+	t.Parallel()
+	shares := PrefixShares([]int{10, 30, 60})
+	want := []float64{0.1, 0.4, 1}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-12 {
+			t.Fatalf("share[%d] = %v, want %v", i, shares[i], want[i])
+		}
+	}
+	if last := shares[len(shares)-1]; last != 1 {
+		t.Fatalf("final prefix share %v, want exactly 1", last)
+	}
+	for i := 1; i < len(shares); i++ {
+		if shares[i] < shares[i-1] {
+			t.Fatalf("prefix shares not monotone: %v", shares)
+		}
+	}
+	// Degenerate empty buckets still produce a valid (all-ready-at-end)
+	// schedule.
+	for _, s := range PrefixShares([]int{0, 0}) {
+		if s != 1 {
+			t.Fatalf("zero-element shares = %v, want all 1", s)
+		}
+	}
+}
+
+func TestIterScheduleReadyAndFinish(t *testing.T) {
+	t.Parallel()
+	prefix := PrefixShares([]int{1, 1, 2})
+	s := NewIterSchedule(10, 2, 4, prefix)
+	if got := s.ComputeDone(); got != 16 {
+		t.Fatalf("ComputeDone %v, want 16", got)
+	}
+	// Bucket 0 is ready after forward + 1/4 of backward.
+	if got := s.ReadyAt(0); got != 13 {
+		t.Fatalf("ReadyAt(0) = %v, want 13", got)
+	}
+	if got := s.ReadyAt(2); got != 16 {
+		t.Fatalf("ReadyAt(2) = %v, want 16 (last bucket waits for full backward)", got)
+	}
+	// The serialized model: every bucket waits for all of backward.
+	serial := NewIterSchedule(10, 2, 4, nil)
+	for i := 0; i < 3; i++ {
+		if serial.ReadyAt(i) != 16 {
+			t.Fatalf("serialized ReadyAt(%d) = %v, want 16", i, serial.ReadyAt(i))
+		}
+	}
+	// Finish floors at the compute end: hidden communication cannot finish
+	// an iteration before backward does.
+	if got := s.Finish(14); got != 16 {
+		t.Fatalf("Finish(14) = %v, want compute floor 16", got)
+	}
+	if got := s.Finish(20); got != 20 {
+		t.Fatalf("Finish(20) = %v, want 20", got)
+	}
+}
+
+func TestComposeIterationSerializesAgainstReadyTimes(t *testing.T) {
+	t.Parallel()
+	prefix := PrefixShares([]int{1, 1, 2})
+	s := NewIterSchedule(0, 2, 4, prefix)
+	// Bucket costs chosen so bucket 1 must wait on bucket 0's collective
+	// (single in-order stream) while bucket 2 waits on its own gradient.
+	costs := []float64{2, 0.5, 1}
+	end := ComposeIteration(s, 3, func(i int, _ float64) float64 { return costs[i] })
+	// ready = [3, 4, 6]; b0: launch 3 end 5; b1: launch max(5,4)=5 end 5.5;
+	// b2: launch max(5.5,6)=6 end 7; floor 6 → 7.
+	if end != 7 {
+		t.Fatalf("ComposeIteration = %v, want 7", end)
+	}
+	// Cheap communication hides under backward except for the last bucket,
+	// which becomes ready only when backward completes — its cost always
+	// trails the compute floor.
+	cheap := ComposeIteration(s, 3, func(int, float64) float64 { return 0.01 })
+	if want := s.ComputeDone() + 0.01; cheap != want {
+		t.Fatalf("hidden comm end %v, want floor + last bucket = %v", cheap, want)
+	}
+}
+
+// TestComposeIterationSingleBucketClosedForm pins the equivalence ddp's
+// ideal-overlap helper relies on: one bucket ready the moment forward
+// finishes reproduces the fwd + max(bwd, comm) closed form exactly.
+func TestComposeIterationSingleBucketClosedForm(t *testing.T) {
+	t.Parallel()
+	for _, comm := range []float64{0.5, 3, 7} {
+		s := NewIterSchedule(0, 2, 4, []float64{0})
+		got := ComposeIteration(s, 1, func(int, float64) float64 { return comm })
+		want := 2 + math.Max(4, comm)
+		if got != want {
+			t.Fatalf("comm %v: ComposeIteration = %v, want %v", comm, got, want)
+		}
+	}
+}
+
+func TestTimelineLaunchBarrier(t *testing.T) {
+	t.Parallel()
+	tl := NewTimeline(3)
+	tl.Set(0, 1)
+	tl.Advance(1, 5)
+	tl.Set(2, 3)
+	if got := tl.Max(); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	// The straggler (rank 1) holds the launch for everyone.
+	launch := tl.LaunchTime(func(r int) float64 { return tl.Clock(r) + 1 })
+	if launch != 6 {
+		t.Fatalf("LaunchTime = %v, want 6", launch)
+	}
+	if tl.World() != 3 {
+		t.Fatalf("World = %d, want 3", tl.World())
+	}
+}

@@ -153,6 +153,40 @@ func A40ComputeModel(flopsPerSample int64) ddp.ComputeModel {
 	return ddp.A40ComputeModel(flopsPerSample)
 }
 
+// Overlap selects how bucket communication interleaves with backward
+// compute (Config.Overlap): OverlapNone serializes compute then
+// communication, OverlapBackward launches each DDP bucket's collective at
+// its per-rank gradient-ready barrier (the event-timeline model, DESIGN.md
+// §9).
+type Overlap = ddp.Overlap
+
+// Overlap modes.
+const (
+	OverlapNone     = ddp.OverlapNone
+	OverlapBackward = ddp.OverlapBackward
+)
+
+// ParseOverlap resolves an overlap selector ("", "none", "backward") to a
+// mode, erroring with the valid vocabulary on unknown names; it round-trips
+// with Overlap.String.
+func ParseOverlap(name string) (Overlap, error) { return ddp.ParseOverlap(name) }
+
+// OverlapModes lists the selector vocabulary ParseOverlap accepts.
+func OverlapModes() []string { return ddp.OverlapNames() }
+
+// RankCompute describes per-rank compute heterogeneity (Config.RankCompute):
+// straggler multipliers plus deterministically seeded per-iteration jitter.
+type RankCompute = ddp.RankCompute
+
+// OneSlowRank returns per-rank compute-time multipliers where the last of n
+// ranks runs factor× slower — the canonical single-straggler profile for
+// RankCompute.Multipliers.
+func OneSlowRank(n int, factor float64) []float64 { return netsim.OneSlowRank(n, factor) }
+
+// RampRanks returns multipliers ramping linearly from 1 to maxFactor across
+// n ranks — a mixed-hardware cluster profile.
+func RampRanks(n int, maxFactor float64) []float64 { return netsim.RampRanks(n, maxFactor) }
+
 // IterationWireBytes returns, for every recorded training iteration, the
 // payload bytes one worker put on the wire — the quantity PacTrain's
 // adaptive compression shrinks once the Mask Tracker stabilizes. It
