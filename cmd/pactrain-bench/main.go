@@ -19,10 +19,20 @@
 //	pactrain-bench -exp fig3 -overlap backward   # hide comm under backward
 //	pactrain-bench -list-schemes          # aggregation-scheme catalog
 //	pactrain-bench -list-collectives      # collective-algorithm catalog
+//	pactrain-bench -perf                  # perf lane: write BENCH_full.json
+//	pactrain-bench -perf -quick -perf-compare BENCH_quick.json   # CI check
+//	pactrain-bench -exp all -cpuprofile cpu.pprof   # profile a run
 //
 // Full-fidelity runs train the four lite-twin models for 12 epochs each and
 // take minutes of wall time; -quick substitutes the MLP twin and finishes
 // in seconds while exercising identical code paths.
+//
+// The perf lane (-perf) runs the pinned macro-benchmark grid from DESIGN.md
+// §10 — timeline composition at 64/1,024/4,096 ranks, the parallel
+// compression kernels, and the largescale pricing experiment — and writes
+// BENCH_<grid>.json. With -perf-compare it diffs the run against a committed
+// baseline, normalizing by the calibration entry, and exits non-zero when
+// any benchmark slowed by more than 10%.
 //
 // All experiments share one run engine: identical (model, scheme, seed)
 // trainings are deduplicated across experiments within the invocation, and
@@ -37,10 +47,11 @@ import (
 	"strings"
 
 	"pactrain"
+	"pactrain/internal/prof"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|collectives|adaptive|stragglers|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig3|fig5|fig6|ablation-mt|ablation-tern|ablation-topo|ablation-varbw|collectives|adaptive|stragglers|largescale|all")
 	quick := flag.Bool("quick", false, "fast settings (MLP twin, smaller sweeps)")
 	world := flag.Int("world", 8, "number of distributed workers")
 	samples := flag.Int("samples", 0, "synthetic training samples (0 = preset default)")
@@ -53,7 +64,57 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON reports instead of text")
 	listSchemes := flag.Bool("list-schemes", false, "print the aggregation-scheme catalog and exit")
 	listCollectives := flag.Bool("list-collectives", false, "print the collective-algorithm catalog and exit")
+	perf := flag.Bool("perf", false, "run the pinned perf-regression grid instead of experiments")
+	perfOut := flag.String("perf-out", "", "perf report output path (default BENCH_<grid>.json)")
+	perfCompare := flag.String("perf-compare", "", "baseline BENCH_*.json to diff the perf run against; regressions >10% exit non-zero")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
+	if *perf {
+		popt := pactrain.PerfOptions{Quick: *quick}
+		if !*quiet {
+			popt.Log = os.Stderr
+		}
+		report := pactrain.RunPerf(popt)
+		out := *perfOut
+		if out == "" {
+			out = pactrain.BenchPath(report.Grid)
+		}
+		if err := pactrain.WriteBench(out, report); err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+			exit(1)
+		}
+		fmt.Printf("perf grid %q: %d benchmarks -> %s\n", report.Grid, len(report.Entries), out)
+		if *perfCompare != "" {
+			base, err := pactrain.LoadBench(*perfCompare)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+				exit(1)
+			}
+			if regressions := pactrain.CompareBench(base, report, pactrain.BenchTolerance); len(regressions) > 0 {
+				fmt.Fprintf(os.Stderr, "pactrain-bench: perf regressions vs %s:\n", *perfCompare)
+				for _, line := range regressions {
+					fmt.Fprintf(os.Stderr, "  %s\n", line)
+				}
+				exit(1)
+			}
+			fmt.Printf("perf: no regressions vs %s (tolerance %d%%)\n",
+				*perfCompare, int(pactrain.BenchTolerance*100))
+		}
+		return
+	}
 
 	if *listSchemes {
 		for _, s := range pactrain.SchemeCatalog() {
@@ -73,11 +134,11 @@ func main() {
 	}
 	if _, err := pactrain.CanonicalCollective(*collectiveAlgo); err != nil {
 		fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	if _, err := pactrain.ParseOverlap(*overlap); err != nil {
 		fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	opt := pactrain.Options{
@@ -103,19 +164,19 @@ func main() {
 	} else if _, ok := pactrain.LookupExperiment(*exp); !ok {
 		fmt.Fprintf(os.Stderr, "pactrain-bench: unknown experiment %q; valid ids: %s, all\n",
 			*exp, strings.Join(pactrain.ExperimentIDs(), ", "))
-		os.Exit(2)
+		exit(2)
 	}
 	for _, id := range ids {
 		report, err := pactrain.Experiment(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if *asJSON {
 			raw, err := pactrain.ExperimentJSON(id, opt, report)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Printf("%s\n", raw)
 		} else {

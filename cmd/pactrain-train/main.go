@@ -21,6 +21,7 @@ import (
 	"pactrain"
 	"pactrain/internal/adaptive"
 	"pactrain/internal/metrics"
+	"pactrain/internal/prof"
 )
 
 func parseBandwidth(s string) (float64, error) {
@@ -65,7 +66,16 @@ func main() {
 	adaptMargin := flag.Float64("adapt-margin", 0, "adaptive scheme: hysteresis win margin (0 = default)")
 	adaptDwell := flag.Int("adapt-dwell", 0, "adaptive scheme: challenger rounds before a format switch (0 = default)")
 	adaptCandidates := flag.String("adapt-candidates", "", "adaptive scheme: comma-separated candidate formats (empty = all)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	bottleneck, err := parseBandwidth(*bw)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"pactrain/internal/netsim"
+	"pactrain/internal/par"
 )
 
 // WireFormat describes how a logical element is represented on the wire.
@@ -93,7 +94,29 @@ type Cluster struct {
 	result  any
 	outTime float64
 
+	// sumBuf is the reusable reduction buffer behind AllReduceSum and
+	// PSAggregateSum, so steady-state iterations stop allocating a
+	// full-payload slice per collective. Reuse is safe under the rendezvous
+	// protocol: the buffer becomes c.result, every rank copies it out before
+	// arriving at the next rendezvous, and the next compute closure (the only
+	// writer) cannot run until all ranks have arrived.
+	sumBuf []float32
+
 	stats Stats
+}
+
+// scratchSum returns the zeroed n-element reduction buffer.
+func (c *Cluster) scratchSum(n int) []float32 {
+	if cap(c.sumBuf) < n {
+		c.sumBuf = make([]float32, n)
+	}
+	s := c.sumBuf[:n]
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s[i] = 0
+		}
+	})
+	return s
 }
 
 // NewCluster builds a cluster of world workers mapped in rank order onto the
@@ -195,16 +218,23 @@ func (c *Cluster) AllReduceSum(rank int, vec []float32, wire WireFormat, localTi
 	type arIn struct{ vec []float32 }
 	res, end := c.rendezvous(rank, arIn{vec}, localTime, func(inputs []any, start float64) (any, float64) {
 		n := len(vec)
-		sum := make([]float32, n)
-		for _, in := range inputs {
-			v := in.(arIn).vec
-			if len(v) != n {
+		vecs := make([][]float32, len(inputs))
+		for r, in := range inputs {
+			vecs[r] = in.(arIn).vec
+			if len(vecs[r]) != n {
 				panic("collective: AllReduceSum length mismatch across ranks")
 			}
-			for i, x := range v {
-				sum[i] += x
-			}
 		}
+		sum := c.scratchSum(n)
+		// Each element accumulates contributions in rank order inside one
+		// chunk, so the chunked reduction is bit-identical to the scalar one.
+		par.For(n, func(lo, hi int) {
+			for _, v := range vecs {
+				for i := lo; i < hi; i++ {
+					sum[i] += v[i]
+				}
+			}
+		})
 		t := start + c.algo.AllReduce(c.fabric, c.hosts, n, wire, start)
 		if c.world > 1 && n > 0 {
 			c.stats.PerWorkerSent += wire.MessageBytes(n) / float64(c.world) * 2 * float64(c.world-1)
@@ -292,13 +322,18 @@ func (c *Cluster) PSAggregateSum(rank int, vec []float32, wire WireFormat, local
 	type psIn struct{ vec []float32 }
 	res, end := c.rendezvous(rank, psIn{vec}, localTime, func(inputs []any, start float64) (any, float64) {
 		n := len(vec)
-		sum := make([]float32, n)
-		for _, in := range inputs {
-			v := in.(psIn).vec
-			for i, x := range v {
-				sum[i] += x
-			}
+		vecs := make([][]float32, len(inputs))
+		for r, in := range inputs {
+			vecs[r] = in.(psIn).vec
 		}
+		sum := c.scratchSum(n)
+		par.For(n, func(lo, hi int) {
+			for _, v := range vecs {
+				for i := lo; i < hi; i++ {
+					sum[i] += v[i]
+				}
+			}
+		})
 		t := start + CostPSAggregate(c.fabric, c.hosts, n, wire, start)
 		c.stats.PayloadBytes += wire.MessageBytes(n) * 2 * float64(c.world-1)
 		c.stats.PSOps++

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"pactrain/internal/collective"
+	"pactrain/internal/par"
 )
 
 // Transport describes which collective a compressor's payloads support.
@@ -76,6 +77,57 @@ type SparseCompressor interface {
 	DecodeSum(p collective.SparsePayload, out []float32)
 }
 
+// ReusableEncoder is implemented by dense compressors whose Encode can write
+// into a caller-provided buffer. EncodeInto(grad, buf) returns the payload,
+// reusing buf's backing array when it is large enough; the trainer holds one
+// buffer per bucket so steady-state iterations allocate nothing on this
+// path. EncodeInto(grad, nil) is exactly Encode(grad).
+type ReusableEncoder interface {
+	EncodeInto(grad, buf []float32) []float32
+}
+
+// grow returns buf resized to n elements, reallocating only when the backing
+// array is too small. Contents are unspecified; callers overwrite every
+// element (or zero explicitly).
+func grow(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// maxAbs returns max_i |v[i]| — the shared scale factor of the quantizers —
+// reduced in parallel. Partial chunk maxima combine in chunk order; float
+// max is exactly associative, so the result is bit-identical to the scalar
+// scan for any chunking.
+func maxAbs(v []float32) float32 {
+	var s float32
+	if len(v) < par.MinWork || par.Budget() <= 1 {
+		for _, x := range v {
+			if a := abs32(x); a > s {
+				s = a
+			}
+		}
+		return s
+	}
+	partial := make([]float32, par.Budget())
+	n := par.ForChunks(len(v), func(chunk, lo, hi int) {
+		var m float32
+		for _, x := range v[lo:hi] {
+			if a := abs32(x); a > m {
+				m = a
+			}
+		}
+		partial[chunk] = m
+	})
+	for _, m := range partial[:n] {
+		if m > s {
+			s = m
+		}
+	}
+	return s
+}
+
 // --- FP32 (no compression) --------------------------------------------------
 
 // FP32 is the lossless identity baseline ("all-reduce" in the figures).
@@ -97,8 +149,11 @@ func (*FP32) Wire() collective.WireFormat { return collective.WireFP32 }
 func (*FP32) Lossless() bool { return true }
 
 // Encode implements DenseCompressor.
-func (*FP32) Encode(grad []float32) []float32 {
-	out := make([]float32, len(grad))
+func (c *FP32) Encode(grad []float32) []float32 { return c.EncodeInto(grad, nil) }
+
+// EncodeInto implements ReusableEncoder.
+func (*FP32) EncodeInto(grad, buf []float32) []float32 {
+	out := grow(buf, len(grad))
 	copy(out, grad)
 	return out
 }
@@ -129,11 +184,17 @@ func (*FP16) Wire() collective.WireFormat { return collective.WireFP16 }
 func (*FP16) Lossless() bool { return false }
 
 // Encode implements DenseCompressor.
-func (*FP16) Encode(grad []float32) []float32 {
-	out := make([]float32, len(grad))
-	for i, v := range grad {
-		out[i] = HalfToFloat32(Float32ToHalf(v))
-	}
+func (c *FP16) Encode(grad []float32) []float32 { return c.EncodeInto(grad, nil) }
+
+// EncodeInto implements ReusableEncoder. The conversion is elementwise, so
+// the chunked parallel loop is bit-identical to the scalar one.
+func (*FP16) EncodeInto(grad, buf []float32) []float32 {
+	out := grow(buf, len(grad))
+	par.For(len(grad), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = HalfToFloat32(Float32ToHalf(grad[i]))
+		}
+	})
 	return out
 }
 
@@ -229,33 +290,112 @@ func NMSE(x, xhat []float32) float64 {
 
 // --- Registry ---------------------------------------------------------------
 
-// topKIndices returns the indices of the k largest |v| entries. It sorts a
-// copy of candidate indices; deterministic for equal magnitudes by index
-// order.
-func topKIndices(v []float32, k int) []int32 {
-	if k >= len(v) {
-		idx := make([]int32, len(v))
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		return idx
+// topKSelector owns the scratch index slice quickselect partitions. Sparse
+// compressors embed one and reuse it across calls, removing the per-bucket
+// per-iteration allocation the historical sort-based selection paid.
+// Selectors are not safe for concurrent use; each rank's compressor instance
+// is driven serially, which is the only way the trainer calls them.
+type topKSelector struct {
+	scratch []int32
+}
+
+// topKIndices returns the indices of the k largest |v| entries, ascending.
+// Ties between equal magnitudes break toward the lower index — the same
+// total order (|v| descending, index ascending) the original full sort used,
+// so quickselect returns the identical index set.
+func (s *topKSelector) topKIndices(v []float32, k int) []int32 {
+	n := len(v)
+	if cap(s.scratch) < n {
+		s.scratch = make([]int32, n)
 	}
-	idx := make([]int32, len(v))
+	idx := s.scratch[:n]
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	// Partial selection via full sort keeps the implementation simple and
-	// deterministic; gradient buckets are at most a few million elements.
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := abs32(v[idx[a]]), abs32(v[idx[b]])
-		if va != vb {
-			return va > vb
-		}
-		return idx[a] < idx[b]
-	})
+	if k > n {
+		k = n
+	}
+	if k < n {
+		quickselectTopK(v, idx, k)
+	}
 	out := append([]int32(nil), idx[:k]...)
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
+}
+
+// topKIndices is the selector without scratch reuse, for one-shot callers.
+func topKIndices(v []float32, k int) []int32 {
+	var s topKSelector
+	return s.topKIndices(v, k)
+}
+
+// topKLess is the strict total order selection runs under: larger magnitude
+// first, lower index first among equal magnitudes. The index tiebreak makes
+// every pair of distinct indices comparable, so the order has no duplicates.
+func topKLess(v []float32, a, b int32) bool {
+	va, vb := abs32(v[a]), abs32(v[b])
+	if va != vb {
+		return va > vb
+	}
+	return a < b
+}
+
+// quickselectTopK partially orders idx so idx[:k] holds the first k entries
+// under topKLess — the k largest-magnitude coordinates with deterministic
+// tie-breaks, in O(n) expected time. The pivot is a median of three, which
+// is deterministic (no RNG to perturb reproducibility) and defeats the
+// sorted/reversed inputs that degrade a fixed-pivot quickselect.
+func quickselectTopK(v []float32, idx []int32, k int) {
+	lo, hi := 0, len(idx)
+	for hi-lo > 16 {
+		mid := lo + (hi-lo)/2
+		if topKLess(v, idx[mid], idx[lo]) {
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+		if topKLess(v, idx[hi-1], idx[lo]) {
+			idx[hi-1], idx[lo] = idx[lo], idx[hi-1]
+		}
+		if topKLess(v, idx[hi-1], idx[mid]) {
+			idx[hi-1], idx[mid] = idx[mid], idx[hi-1]
+		}
+		pivot := idx[mid]
+		i, j := lo-1, hi
+		for {
+			for {
+				i++
+				if !topKLess(v, idx[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !topKLess(v, pivot, idx[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		// Hoare invariant: every entry of [lo, j] precedes every entry of
+		// (j, hi) under topKLess. Recurse into whichever side straddles k.
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k > j+1:
+			lo = j + 1
+		default:
+			return
+		}
+	}
+	// Small windows finish by insertion sort, which also handles the
+	// already-partitioned prefix exactly.
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && topKLess(v, idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 }
 
 func abs32(v float32) float32 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pactrain/internal/collective"
+	"pactrain/internal/par"
 	"pactrain/internal/tensor"
 )
 
@@ -83,17 +84,25 @@ func (m *MaskCompact) Lossless() bool { return !m.Ternary }
 
 // Encode implements DenseCompressor: gather the retained coordinates into a
 // compact dense vector of length NNZ.
-func (m *MaskCompact) Encode(grad []float32) []float32 {
+func (m *MaskCompact) Encode(grad []float32) []float32 { return m.EncodeInto(grad, nil) }
+
+// EncodeInto implements ReusableEncoder. The gather is parallel (mask
+// indices are strictly ascending, so chunks read and write disjoint ranges);
+// the optional ternary stage consumes a sequential RNG stream and stays
+// scalar to preserve bit-exact reproducibility.
+func (m *MaskCompact) EncodeInto(grad, buf []float32) []float32 {
 	if !m.maskSet {
 		panic("compress: MaskCompact.Encode before SetMask")
 	}
 	if len(grad) != m.fullLen {
 		panic(fmt.Sprintf("compress: gradient length %d does not match mask domain %d", len(grad), m.fullLen))
 	}
-	out := make([]float32, len(m.indices))
-	for i, j := range m.indices {
-		out[i] = grad[j]
-	}
+	out := grow(buf, len(m.indices))
+	par.For(len(m.indices), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = grad[m.indices[i]]
+		}
+	})
 	if m.Ternary {
 		Ternarize(m.rng, out, out)
 	}
@@ -107,12 +116,16 @@ func (m *MaskCompact) Decode(payload []float32, out []float32) {
 	if len(payload) != len(m.indices) {
 		panic("compress: MaskCompact.Decode payload length mismatch")
 	}
-	for i := range out {
-		out[i] = 0
-	}
-	for i, j := range m.indices {
-		out[j] = payload[i]
-	}
+	par.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 0
+		}
+	})
+	par.For(len(m.indices), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[m.indices[i]] = payload[i]
+		}
+	})
 }
 
 // EncodeSparse gathers the retained coordinates as a COO (values, indices)
@@ -129,9 +142,11 @@ func (m *MaskCompact) EncodeSparse(grad []float32) ([]float32, []int32) {
 		panic(fmt.Sprintf("compress: gradient length %d does not match mask domain %d", len(grad), m.fullLen))
 	}
 	vals := make([]float32, len(m.indices))
-	for i, j := range m.indices {
-		vals[i] = grad[j]
-	}
+	par.For(len(m.indices), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] = grad[m.indices[i]]
+		}
+	})
 	return vals, m.indices
 }
 

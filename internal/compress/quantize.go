@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pactrain/internal/collective"
+	"pactrain/internal/par"
 	"pactrain/internal/tensor"
 )
 
@@ -36,8 +37,13 @@ func (*TernGrad) Wire() collective.WireFormat { return collective.WireInt8 }
 func (*TernGrad) Lossless() bool { return false }
 
 // Encode implements DenseCompressor.
-func (t *TernGrad) Encode(grad []float32) []float32 {
-	out := make([]float32, len(grad))
+func (t *TernGrad) Encode(grad []float32) []float32 { return t.EncodeInto(grad, nil) }
+
+// EncodeInto implements ReusableEncoder. The ternary draw consumes a
+// sequential RNG stream, so the quantization loop itself stays scalar; only
+// the buffer is reused.
+func (t *TernGrad) EncodeInto(grad, buf []float32) []float32 {
+	out := grow(buf, len(grad))
 	Ternarize(t.rng, grad, out)
 	return out
 }
@@ -49,12 +55,7 @@ func (*TernGrad) Decode(payload []float32, out []float32) { copy(out, payload) }
 // alias grad): out[i] ∈ {−s, 0, +s} with E[out] = grad. It is exported so
 // PacTrain can reuse it on compacted gradients (§III-D).
 func Ternarize(rng *tensor.RNG, grad []float32, out []float32) {
-	var s float32
-	for _, v := range grad {
-		if a := abs32(v); a > s {
-			s = a
-		}
-	}
+	s := maxAbs(grad)
 	if s == 0 {
 		for i := range out {
 			out[i] = 0
@@ -108,15 +109,17 @@ func (q *QSGD) Wire() collective.WireFormat {
 func (*QSGD) Lossless() bool { return false }
 
 // Encode implements DenseCompressor.
-func (q *QSGD) Encode(grad []float32) []float32 {
-	out := make([]float32, len(grad))
-	var s float32
-	for _, v := range grad {
-		if a := abs32(v); a > s {
-			s = a
-		}
-	}
+func (q *QSGD) Encode(grad []float32) []float32 { return q.EncodeInto(grad, nil) }
+
+// EncodeInto implements ReusableEncoder. Like TernGrad, the stochastic
+// rounding consumes a sequential RNG stream and stays scalar.
+func (q *QSGD) EncodeInto(grad, buf []float32) []float32 {
+	out := grow(buf, len(grad))
+	s := maxAbs(grad)
 	if s == 0 {
+		for i := range out {
+			out[i] = 0
+		}
 		return out
 	}
 	L := float64(q.Levels)
@@ -174,23 +177,28 @@ func (*THC) Lossless() bool { return false }
 
 // Encode implements DenseCompressor: deterministic rounding onto the shared
 // lattice spanning [−s, s].
-func (t *THC) Encode(grad []float32) []float32 {
-	out := make([]float32, len(grad))
-	var s float32
-	for _, v := range grad {
-		if a := abs32(v); a > s {
-			s = a
-		}
-	}
+func (t *THC) Encode(grad []float32) []float32 { return t.EncodeInto(grad, nil) }
+
+// EncodeInto implements ReusableEncoder. The rounding is deterministic and
+// elementwise, so both the max reduction and the lattice loop parallelize
+// bit-exactly.
+func (t *THC) EncodeInto(grad, buf []float32) []float32 {
+	out := grow(buf, len(grad))
+	s := maxAbs(grad)
 	if s == 0 {
+		for i := range out {
+			out[i] = 0
+		}
 		return out
 	}
 	L := float64(t.Levels - 1)
 	step := 2 * float64(s) / L
-	for i, v := range grad {
-		q := math.Round((float64(v) + float64(s)) / step)
-		out[i] = float32(q*step - float64(s))
-	}
+	par.For(len(grad), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := math.Round((float64(grad[i]) + float64(s)) / step)
+			out[i] = float32(q*step - float64(s))
+		}
+	})
 	return out
 }
 

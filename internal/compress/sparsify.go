@@ -4,8 +4,21 @@ import (
 	"fmt"
 
 	"pactrain/internal/collective"
+	"pactrain/internal/par"
 	"pactrain/internal/tensor"
 )
+
+// decodeSumSparse accumulates a sparse payload into out in parallel. The
+// indices within one payload are unique, so chunks write disjoint
+// coordinates and each out[j] receives exactly one add — bit-identical to
+// the scalar loop for any chunking.
+func decodeSumSparse(p collective.SparsePayload, out []float32) {
+	par.For(len(p.Indices), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[p.Indices[i]] += p.Values[i]
+		}
+	})
+}
 
 // TopK transmits the k = ratio·n largest-magnitude coordinates as
 // (value,index) pairs [Aji & Heafield 2017]. Selections differ per worker,
@@ -14,6 +27,8 @@ import (
 // makes TopK converge.
 type TopK struct {
 	Ratio float64
+
+	sel topKSelector
 }
 
 // NewTopK returns a TopK compressor with the given keep ratio.
@@ -39,19 +54,19 @@ func (*TopK) Lossless() bool { return false }
 // Encode implements SparseCompressor.
 func (t *TopK) Encode(grad []float32) collective.SparsePayload {
 	k := ratioCount(len(grad), t.Ratio)
-	idx := topKIndices(grad, k)
+	idx := t.sel.topKIndices(grad, k)
 	vals := make([]float32, len(idx))
-	for i, j := range idx {
-		vals[i] = grad[j]
-	}
+	par.For(len(idx), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] = grad[idx[i]]
+		}
+	})
 	return collective.SparsePayload{Values: vals, Indices: idx}
 }
 
 // DecodeSum implements SparseCompressor.
 func (*TopK) DecodeSum(p collective.SparsePayload, out []float32) {
-	for i, j := range p.Indices {
-		out[j] += p.Values[i]
-	}
+	decodeSumSparse(p, out)
 }
 
 // RandomK transmits a random subset of coordinates, the unbiased (but
@@ -100,9 +115,7 @@ func (r *RandomK) Encode(grad []float32) collective.SparsePayload {
 
 // DecodeSum implements SparseCompressor.
 func (*RandomK) DecodeSum(p collective.SparsePayload, out []float32) {
-	for i, j := range p.Indices {
-		out[j] += p.Values[i]
-	}
+	decodeSumSparse(p, out)
 }
 
 // DGC is Deep Gradient Compression [Lin et al. 2018]: TopK sparsification
@@ -115,6 +128,8 @@ type DGC struct {
 
 	u []float32 // momentum-corrected velocity
 	v []float32 // local gradient accumulator
+
+	sel topKSelector
 }
 
 // NewDGC returns a DGC compressor.
@@ -150,12 +165,14 @@ func (d *DGC) Encode(grad []float32) collective.SparsePayload {
 		panic("compress: DGC gradient length changed between iterations")
 	}
 	m := float32(d.Momentum)
-	for i, g := range grad {
-		d.u[i] = m*d.u[i] + g
-		d.v[i] += d.u[i]
-	}
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d.u[i] = m*d.u[i] + grad[i]
+			d.v[i] += d.u[i]
+		}
+	})
 	k := ratioCount(n, d.Ratio)
-	idx := topKIndices(d.v, k)
+	idx := d.sel.topKIndices(d.v, k)
 	vals := make([]float32, len(idx))
 	for i, j := range idx {
 		vals[i] = d.v[j]
@@ -167,9 +184,7 @@ func (d *DGC) Encode(grad []float32) collective.SparsePayload {
 
 // DecodeSum implements SparseCompressor.
 func (*DGC) DecodeSum(p collective.SparsePayload, out []float32) {
-	for i, j := range p.Indices {
-		out[j] += p.Values[i]
-	}
+	decodeSumSparse(p, out)
 }
 
 // Reset clears accumulated state (used between experiments).
@@ -210,9 +225,11 @@ func (e *ErrorFeedback) Encode(grad []float32) collective.SparsePayload {
 		panic("compress: ErrorFeedback gradient length changed")
 	}
 	corrected := make([]float32, n)
-	for i, g := range grad {
-		corrected[i] = g + e.residual[i]
-	}
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			corrected[i] = grad[i] + e.residual[i]
+		}
+	})
 	p := e.Inner.Encode(corrected)
 	// Residual = corrected − transmitted.
 	copy(e.residual, corrected)

@@ -34,6 +34,10 @@ type adaptiveHook struct {
 	pendingBitmap map[int]bool
 	observed      map[int]bool
 
+	// bufs holds per-bucket compact payload buffers (same safety argument as
+	// denseHook.bufs).
+	bufs map[int][]float32
+
 	// Telemetry.
 	CompactSyncs int // controller-driven rounds
 	FullSyncs    int // forced full syncs while unstable
@@ -94,7 +98,11 @@ func (h *adaptiveHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 
 
 		case adaptive.FormatCompact, adaptive.FormatCompactTernary:
 			mc.Ternary = dec.Format == adaptive.FormatCompactTernary
-			payload := mc.Encode(b.Flat)
+			if h.bufs == nil {
+				h.bufs = make(map[int][]float32)
+			}
+			payload := mc.EncodeInto(b.Flat, h.bufs[b.Index])
+			h.bufs[b.Index] = payload
 			wire := h.env.scaleWire(mc.Wire())
 			end := h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
 			mc.Decode(payload, b.Flat)

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"pactrain/internal/par"
+)
+
+// TestTrainingBitExactAcrossKernelBudgets pins the PR's headline contract at
+// the system level: an entire training run — forward/backward, compression
+// kernels, collective pricing, accuracy curve — is byte-identical whether the
+// parallel kernels run on one worker or eight. Not mark-parallel: the kernel
+// budget is process-global.
+func TestTrainingBitExactAcrossKernelBudgets(t *testing.T) {
+	defer par.SetBudget(par.Budget())
+	for _, scheme := range []string{"pactrain-ternary", "topk-0.1"} {
+		cfg := tinyConfig(scheme)
+		cfg.Epochs = 2
+
+		par.SetBudget(1)
+		scalar, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.SetBudget(8)
+		parallel, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if scalar.FinalAcc != parallel.FinalAcc || scalar.BestAcc != parallel.BestAcc {
+			t.Fatalf("%s: accuracy differs across budgets: %v/%v vs %v/%v",
+				scheme, scalar.FinalAcc, scalar.BestAcc, parallel.FinalAcc, parallel.BestAcc)
+		}
+		if scalar.SimSeconds != parallel.SimSeconds {
+			t.Fatalf("%s: simulated time differs across budgets: %v vs %v",
+				scheme, scalar.SimSeconds, parallel.SimSeconds)
+		}
+		if len(scalar.WeightChecksums) != len(parallel.WeightChecksums) {
+			t.Fatalf("%s: world size changed", scheme)
+		}
+		for r := range scalar.WeightChecksums {
+			if scalar.WeightChecksums[r] != parallel.WeightChecksums[r] {
+				t.Fatalf("%s: rank %d weights differ across budgets: %v vs %v",
+					scheme, r, scalar.WeightChecksums[r], parallel.WeightChecksums[r])
+			}
+		}
+		for i, p := range scalar.Curve.Points {
+			if p != parallel.Curve.Points[i] {
+				t.Fatalf("%s: curve point %d differs across budgets: %+v vs %+v",
+					scheme, i, p, parallel.Curve.Points[i])
+			}
+		}
+	}
+}

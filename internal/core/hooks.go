@@ -48,6 +48,27 @@ type denseHook struct {
 	env     *hookEnv
 	comp    compress.DenseCompressor
 	forcePS bool
+
+	// bufs holds one payload buffer per bucket so steady-state iterations
+	// reuse instead of allocate. Reuse is safe: every rank's payload is only
+	// read inside the collective's rendezvous compute, which completes before
+	// any rank can reach its next Sync of the same bucket.
+	bufs map[int][]float32
+}
+
+// encode produces the bucket's payload, reusing the per-bucket buffer when
+// the compressor supports it.
+func (h *denseHook) encode(b *ddp.Bucket) []float32 {
+	re, ok := h.comp.(compress.ReusableEncoder)
+	if !ok {
+		return h.comp.Encode(b.Flat)
+	}
+	if h.bufs == nil {
+		h.bufs = make(map[int][]float32)
+	}
+	out := re.EncodeInto(b.Flat, h.bufs[b.Index])
+	h.bufs[b.Index] = out
+	return out
 }
 
 // Name implements ddp.Hook.
@@ -60,7 +81,7 @@ func (h *denseHook) Name() string {
 
 // Sync implements ddp.Hook.
 func (h *denseHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
-	payload := h.comp.Encode(b.Flat)
+	payload := h.encode(b)
 	wire := h.env.scaleWire(h.comp.Wire())
 	var end float64
 	if h.forcePS || h.comp.Transport() == compress.TransportPS {
@@ -86,6 +107,22 @@ type sparseHook struct {
 	mk      func() compress.SparseCompressor
 	perBkt  map[int]compress.SparseCompressor
 	nameStr string
+
+	// sizesBuf is reused for the per-rank payload-size scratch on ranks that
+	// do not record (the comm log retains the slice it is handed, so rank 0
+	// keeps allocating).
+	sizesBuf []int
+}
+
+// sizesScratch returns an n-element size slice, reused when recording is off.
+func (h *sparseHook) sizesScratch(n int) []int {
+	if h.env.log != nil {
+		return make([]int, n)
+	}
+	if cap(h.sizesBuf) < n {
+		h.sizesBuf = make([]int, n)
+	}
+	return h.sizesBuf[:n]
 }
 
 func newSparseHook(env *hookEnv, mk func() compress.SparseCompressor) *sparseHook {
@@ -110,7 +147,7 @@ func (h *sparseHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 {
 	for i := range b.Flat {
 		b.Flat[i] = 0
 	}
-	sizes := make([]int, len(all))
+	sizes := h.sizesScratch(len(all))
 	for i, p := range all {
 		sizes[i] = len(p.Values)
 		comp.DecodeSum(p, b.Flat)
@@ -241,9 +278,24 @@ type pacTrainHook struct {
 	pendingBitmap map[int]bool
 	observed      map[int]bool
 
+	// bufs holds per-bucket compact payload buffers (same safety argument as
+	// denseHook.bufs).
+	bufs map[int][]float32
+
 	// Telemetry.
 	CompactSyncs int
 	FullSyncs    int
+}
+
+// compactPayload encodes through the installed mask into the bucket's
+// reusable buffer.
+func (h *pacTrainHook) compactPayload(mc *compress.MaskCompact, b *ddp.Bucket) []float32 {
+	if h.bufs == nil {
+		h.bufs = make(map[int][]float32)
+	}
+	out := mc.EncodeInto(b.Flat, h.bufs[b.Index])
+	h.bufs[b.Index] = out
+	return out
 }
 
 func newPacTrainHook(env *hookEnv, cfg *Config, ternary bool, seed uint64) *pacTrainHook {
@@ -279,7 +331,7 @@ func (h *pacTrainHook) Sync(rank int, b *ddp.Bucket, localTime float64) float64 
 			mc.SetMask(tr.Indices(), b.Elements())
 			h.compacts[b.Index] = mc
 		}
-		payload := mc.Encode(b.Flat)
+		payload := h.compactPayload(mc, b)
 		wire := h.env.scaleWire(mc.Wire())
 		end := h.env.cluster.AllReduceSum(rank, payload, wire, localTime)
 		mc.Decode(payload, b.Flat)

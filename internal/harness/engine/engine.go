@@ -19,9 +19,11 @@ package engine
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"pactrain/internal/core"
+	"pactrain/internal/par"
 )
 
 // Job is one declarative unit of training work: a fully specified run
@@ -164,6 +166,12 @@ func New(opt Options) *Engine {
 	if opt.Log == nil {
 		opt.Log = io.Discard
 	}
+	// Size the kernel worker budget against the job-level parallelism so the
+	// two do not multiply: with P concurrent trainings on a G-core machine,
+	// each training's compression kernels may fan out over at most G/P
+	// goroutines. Kernel chunking never changes results (internal/par), so
+	// this is purely a scheduling decision.
+	par.SetBudget(runtime.GOMAXPROCS(0) / opt.Parallelism)
 	var cache *Cache
 	if opt.CacheDir != "" {
 		cache = NewCache(opt.CacheDir)

@@ -46,6 +46,8 @@ func Experiments() []Definition {
 			func(o Options) (Report, error) { return RunAdaptive(o) }},
 		{"stragglers", "heterogeneous-compute straggler grid (scheme × overlap × severity, Fig. 4 fabric)",
 			func(o Options) (Report, error) { return RunStragglers(o) }},
+		{"largescale", "cluster-scale pricing — 4,096 ranks on a 64-rack hierarchical fabric with one slow rack",
+			func(o Options) (Report, error) { return RunLargeScale(o) }},
 	}
 }
 

@@ -296,8 +296,25 @@ func recostCumWith(alg collective.Algorithm, res *core.Result, cfg *core.Config,
 // iterations; on the recorded configuration it reproduces the training
 // clock bit-for-bit (TestStragglerRecostReproducesTraining).
 func recostCumTimeline(alg collective.Algorithm, res *core.Result, cfg *core.Config, fabric *netsim.Fabric) []float64 {
+	return replayTimeline(alg, res, cfg, fabric, false)
+}
+
+// replayTimeline is recostCumTimeline with the pricing strategy explicit:
+// memoize engages per-signature cost memoization (see opCoster), which the
+// replay contract forbids for recorded runs and the cluster-scale pricing
+// path requires. Two structural shortcuts keep cluster-scale replays cheap
+// without touching any float:
+//
+//   - homogeneous ranks (RankCompute disabled — Scale returns exactly 1):
+//     every rank's schedule and clock are identical by induction, so the
+//     whole timeline collapses to rank 0's scalar clock and the O(world)
+//     barrier scans disappear;
+//   - heterogeneous ranks: an IterComposer computes each bucket's barrier
+//     once per iteration (O(world × buckets)) instead of once per op query.
+func replayTimeline(alg collective.Algorithm, res *core.Result, cfg *core.Config, fabric *netsim.Fabric, memoize bool) []float64 {
 	log := res.CommLog
 	hosts := fabric.Topo.Hosts()[:cfg.World]
+	coster := newOpCoster(alg, fabric, hosts, memoize)
 	var prefix []float64
 	if cfg.Overlap == ddp.OverlapBackward {
 		if len(log.BucketElems) == 0 {
@@ -307,18 +324,47 @@ func recostCumTimeline(alg collective.Algorithm, res *core.Result, cfg *core.Con
 	}
 	fwd := cfg.Compute.ForwardSeconds(cfg.BatchSize)
 	bwd := cfg.Compute.BackwardSeconds(cfg.BatchSize)
+	cum := make([]float64, len(log.Iters)+1)
+
+	if !cfg.RankCompute.Enabled() {
+		// Homogeneous fast path. Scale is exactly 1 for every (rank, iter),
+		// so all ranks share one schedule and one clock; the barrier over
+		// identical ready times is that ready time, and every rank finishes
+		// at the same instant. Bit-identical to the per-rank replay (a max
+		// over equal floats is that float; fwd*1.0 == fwd).
+		clock := 0.0
+		for k, ops := range log.Iters {
+			sched := simclock.NewIterSchedule(clock, fwd, bwd, prefix)
+			commEnd := math.Inf(-1)
+			for _, op := range ops {
+				launch := sched.ReadyAt(op.Bucket)
+				if commEnd > launch {
+					// One in-order communication stream: an op never
+					// launches before the previous one completed.
+					launch = commEnd
+				}
+				commEnd = launch + coster.cost(op, launch)
+			}
+			clock = sched.Finish(commEnd)
+			cum[k+1] = clock
+		}
+		return cum
+	}
+
 	tl := simclock.NewTimeline(cfg.World)
 	scheds := make([]simclock.IterSchedule, cfg.World)
-	cum := make([]float64, len(log.Iters)+1)
+	comp := simclock.NewIterComposer(scheds)
 	for k, ops := range log.Iters {
 		for r := range scheds {
 			scale := cfg.RankCompute.Scale(r, k)
 			scheds[r] = simclock.NewIterSchedule(tl.Clock(r), fwd*scale, bwd*scale, prefix)
 		}
+		comp.Reset()
 		commEnd := math.Inf(-1)
 		for _, op := range ops {
-			bucket := op.Bucket
-			launch := tl.LaunchTime(func(r int) float64 { return scheds[r].ReadyAt(bucket) })
+			// Barrier is exactly tl.LaunchTime over the ranks' ReadyAt,
+			// computed once per bucket per iteration.
+			launch := comp.Barrier(op.Bucket)
 			if commEnd > launch {
 				// One in-order communication stream: an op never launches
 				// before the previous one completed (within a bucket, the
@@ -326,11 +372,9 @@ func recostCumTimeline(alg collective.Algorithm, res *core.Result, cfg *core.Con
 				// end, so this max is exactly the trainer's).
 				launch = commEnd
 			}
-			commEnd = launch + core.CostOp(op, alg, fabric, hosts, launch)
+			commEnd = launch + coster.cost(op, launch)
 		}
-		for r := range scheds {
-			tl.Set(r, scheds[r].Finish(commEnd))
-		}
+		comp.FinishInto(tl, commEnd)
 		cum[k+1] = tl.Clock(0)
 	}
 	return cum

@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"pactrain/internal/compress"
+	"pactrain/internal/ddp"
+	"pactrain/internal/netsim"
+	"pactrain/internal/simclock"
+	"pactrain/internal/tensor"
+)
+
+// The perf lane is the proof layer of the cluster-scale work: a pinned
+// macro-benchmark grid whose wall times are written to BENCH_<grid>.json and
+// diffed against a committed baseline, so a change that silently re-inflates
+// re-costing from seconds back to minutes fails CI instead of landing. Wall
+// times are machine-dependent, so every report carries a calibration entry —
+// a fixed scalar spin — and comparisons normalize by the calibration ratio
+// before applying the tolerance (DESIGN.md §10).
+
+// BenchEntry is one pinned benchmark's best-of-Runs wall time.
+type BenchEntry struct {
+	Name string
+	// Seconds is the fastest of Runs executions (minimum, not mean: the
+	// minimum is the least noisy estimator of a benchmark's true cost).
+	Seconds float64
+	Runs    int
+}
+
+// BenchReport is the grid's result set, serialized to BENCH_<grid>.json.
+type BenchReport struct {
+	// Grid is "quick" or "full".
+	Grid       string
+	GoMaxProcs int
+	Entries    []BenchEntry
+}
+
+// Entry fetches a benchmark by name.
+func (r *BenchReport) Entry(name string) (BenchEntry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return BenchEntry{}, false
+}
+
+// BenchCalibration names the normalization entry present in every grid.
+const BenchCalibration = "calibrate-spin"
+
+// BenchTolerance is the normalized slowdown CI fails on (>10%).
+const BenchTolerance = 0.10
+
+// PerfOptions configures a perf-lane run.
+type PerfOptions struct {
+	// Quick selects the small grid (1,024-rank cluster entries).
+	Quick bool
+	// Log receives per-entry progress lines; nil discards them.
+	Log io.Writer
+}
+
+// benchSink defeats dead-code elimination of benchmark bodies.
+var benchSink uint64
+
+// perfCase is one pinned benchmark: setup runs untimed, fn is timed.
+type perfCase struct {
+	name string
+	runs int
+	fn   func()
+}
+
+// calibrateSpin is a fixed, allocation-free, single-core integer spin. Its
+// wall time tracks the host's scalar speed, which is what every other entry
+// is bounded by, so cur/base calibration ratios transport a baseline across
+// machines.
+func calibrateSpin() {
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 40_000_000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	benchSink = x
+}
+
+// composeCase replays largeScaleIters-style iterations of per-bucket barrier
+// composition at the given world size with one slow rank (heterogeneity
+// forces the per-rank path) — the pure incremental-timeline cost
+// (IterComposer + Timeline), no collective pricing. This is the loop that
+// was O(world × ops) before the composer.
+func composeCase(world, iters int) func() {
+	buckets := largeScaleBuckets()
+	prefix := simclock.PrefixShares(buckets)
+	rc := ddp.RankCompute{Multipliers: netsim.OneSlowRank(world, 2)}
+	fwd, bwd := 0.006, 0.012
+	return func() {
+		tl := simclock.NewTimeline(world)
+		scheds := make([]simclock.IterSchedule, world)
+		comp := simclock.NewIterComposer(scheds)
+		var acc float64
+		for k := 0; k < iters; k++ {
+			for r := range scheds {
+				scale := rc.Scale(r, k)
+				scheds[r] = simclock.NewIterSchedule(tl.Clock(r), fwd*scale, bwd*scale, prefix)
+			}
+			comp.Reset()
+			commEnd := math.Inf(-1)
+			for b := range buckets {
+				launch := comp.Barrier(b)
+				if commEnd > launch {
+					launch = commEnd
+				}
+				commEnd = launch + 0.003
+			}
+			comp.FinishInto(tl, commEnd)
+			acc = tl.Clock(0)
+		}
+		benchSink += uint64(acc)
+	}
+}
+
+// encodeCases exercises the parallel compression kernels on a 2.5M-element
+// bucket: TopK's quickselect sparsification and PacTrain's mask-compact
+// ternary encode.
+func encodeCases() []perfCase {
+	const n = 2_500_000
+	grad := make([]float32, n)
+	rng := tensor.NewRNG(7)
+	for i := range grad {
+		grad[i] = float32(rng.Float64()*2 - 1)
+	}
+	topk := compress.NewTopK(0.01)
+	mc := compress.NewMaskCompact(true, 11)
+	mask := make([]int32, 0, n/2)
+	for i := int32(0); i < n; i += 2 {
+		mask = append(mask, i)
+	}
+	mc.SetMask(mask, n)
+	var buf []float32
+	return []perfCase{
+		{"encode-topk-2.5M", 3, func() {
+			p := topk.Encode(grad)
+			benchSink += uint64(len(p.Indices))
+		}},
+		{"encode-ternary-2.5M", 3, func() {
+			buf = mc.EncodeInto(grad, buf)
+			benchSink += uint64(len(buf))
+		}},
+	}
+}
+
+// RunPerf executes the pinned grid and returns its report.
+func RunPerf(opt PerfOptions) *BenchReport {
+	logf := func(format string, args ...any) {
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, format+"\n", args...)
+		}
+	}
+	grid := "full"
+	composeWorlds := []int{64, 1024, 4096}
+	if opt.Quick {
+		grid = "quick"
+		composeWorlds = []int{64, 1024}
+	}
+	cases := []perfCase{{BenchCalibration, 5, calibrateSpin}}
+	for _, w := range composeWorlds {
+		// Iterations scale inversely with world so every compose entry does
+		// similar total work — a sub-millisecond entry would gate the 10%
+		// tolerance on timer noise instead of on the composer.
+		iters := 50
+		if scaled := 200_000 / w; scaled > iters {
+			iters = scaled
+		}
+		cases = append(cases, perfCase{fmt.Sprintf("compose-%d", w), 3, composeCase(w, iters)})
+	}
+	cases = append(cases, encodeCases()...)
+	cases = append(cases, perfCase{"largescale", 3, func() {
+		if _, err := RunLargeScale(Options{Quick: opt.Quick}); err != nil {
+			panic(err)
+		}
+	}})
+
+	report := &BenchReport{Grid: grid, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, c := range cases {
+		best := math.Inf(1)
+		for r := 0; r < c.runs; r++ {
+			start := time.Now()
+			c.fn()
+			if d := time.Since(start).Seconds(); d < best {
+				best = d
+			}
+		}
+		logf("perf: %-22s %8.1fms (best of %d)", c.name, best*1e3, c.runs)
+		report.Entries = append(report.Entries, BenchEntry{Name: c.name, Seconds: best, Runs: c.runs})
+	}
+	return report
+}
+
+// BenchPath is the canonical baseline location for a grid.
+func BenchPath(grid string) string { return "BENCH_" + grid + ".json" }
+
+// WriteBench serializes a report to path.
+func WriteBench(path string, r *BenchReport) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// LoadBench reads a baseline report.
+func LoadBench(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBench diffs cur against base and returns one line per regression:
+// entries whose calibration-normalized wall time grew by more than tol.
+// Entries missing from either report are ignored (new benchmarks must not
+// fail against old baselines). The caller treats a non-empty result as a CI
+// failure.
+func CompareBench(base, cur *BenchReport, tol float64) []string {
+	norm := 1.0
+	if b, okB := base.Entry(BenchCalibration); okB && b.Seconds > 0 {
+		if c, okC := cur.Entry(BenchCalibration); okC && c.Seconds > 0 {
+			norm = c.Seconds / b.Seconds
+		}
+	}
+	var regressions []string
+	for _, c := range cur.Entries {
+		if c.Name == BenchCalibration {
+			continue
+		}
+		b, ok := base.Entry(c.Name)
+		if !ok || b.Seconds <= 0 {
+			continue
+		}
+		allowed := b.Seconds * norm * (1 + tol)
+		if c.Seconds > allowed {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1fms vs baseline %.1fms (%.2f× normalized, tolerance %.2f×)",
+				c.Name, c.Seconds*1e3, b.Seconds*1e3,
+				c.Seconds/(b.Seconds*norm), 1+tol))
+		}
+	}
+	return regressions
+}

@@ -12,6 +12,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Common bandwidth constants in bits per second.
@@ -52,11 +53,20 @@ type Topology struct {
 	Links []Link
 
 	adj map[NodeID][]int // node → indices into Links
+
+	// pathCache memoizes Path results. Every transfer of every collective
+	// step resolves a path, so at cluster scale (thousands of hosts, millions
+	// of transfers per costed op) the per-call BFS with its map allocations
+	// dominates the whole simulation; the graph is static once built, so the
+	// deterministic BFS result can be computed once per (src, dst). The map
+	// is concurrency-safe because one topology may be shared by several
+	// fabrics (PricingClone, engine jobs reusing a config's topology).
+	pathCache *sync.Map // packed (src,dst) → []int, treated as immutable
 }
 
 // NewTopology builds an empty topology.
 func NewTopology() *Topology {
-	return &Topology{adj: make(map[NodeID][]int)}
+	return &Topology{adj: make(map[NodeID][]int), pathCache: &sync.Map{}}
 }
 
 // AddNode appends a node and returns its ID.
@@ -79,6 +89,9 @@ func (t *Topology) AddLink(a, b NodeID, bandwidthBps, latencySec float64) int {
 	t.Links = append(t.Links, Link{A: a, B: b, BandwidthBps: bandwidthBps, LatencySec: latencySec})
 	t.adj[a] = append(t.adj[a], idx)
 	t.adj[b] = append(t.adj[b], idx)
+	// Construction invalidates memoized paths. Topologies are built
+	// single-threaded before any fabric prices transfers against them.
+	t.pathCache = &sync.Map{}
 	return idx
 }
 
@@ -94,11 +107,27 @@ func (t *Topology) Hosts() []NodeID {
 }
 
 // Path returns the minimum-hop link-index path from src to dst using BFS,
-// or nil if unreachable.
+// or nil if unreachable. Results are memoized per (src, dst); callers must
+// not mutate the returned slice.
 func (t *Topology) Path(src, dst NodeID) []int {
 	if src == dst {
 		return []int{}
 	}
+	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	if t.pathCache != nil {
+		if p, ok := t.pathCache.Load(key); ok {
+			return p.([]int)
+		}
+	}
+	path := t.pathBFS(src, dst)
+	if t.pathCache != nil {
+		t.pathCache.Store(key, path)
+	}
+	return path
+}
+
+// pathBFS is the uncached breadth-first search behind Path.
+func (t *Topology) pathBFS(src, dst NodeID) []int {
 	prev := make(map[NodeID]int) // node → link index used to reach it
 	visited := map[NodeID]bool{src: true}
 	queue := []NodeID{src}
@@ -189,6 +218,13 @@ func NewFabric(t *Topology) *Fabric {
 func (f *Fabric) SetTrace(tr *BandwidthTrace) {
 	f.traces[tr.LinkIndex] = tr
 }
+
+// TimeInvariant reports whether link bandwidths are independent of the
+// simulated clock — true exactly when no bandwidth trace is installed. On a
+// time-invariant fabric a collective's cost depends only on the payload and
+// algorithm, never on when it launches, which licenses the re-costing
+// layer's per-op-signature memoization (internal/harness).
+func (f *Fabric) TimeInvariant() bool { return len(f.traces) == 0 }
 
 // linkBandwidthAt returns the effective bandwidth of a link at time t.
 func (f *Fabric) linkBandwidthAt(li int, t float64) float64 {
@@ -327,6 +363,26 @@ func OneSlowRank(n int, factor float64) []float64 {
 	return ms
 }
 
+// OneSlowRack returns multipliers for a racked cluster of racks×hostsPerRack
+// ranks (rank-major by rack, the RackedTopology host order) where every rank
+// in the last rack runs factor× slower — the shared-failure-domain straggler
+// profile of the largescale experiment: one rack on degraded hardware or
+// thermal throttle drags the whole job. factor 1 models the uniform cluster.
+func OneSlowRack(racks, hostsPerRack int, factor float64) []float64 {
+	n := racks * hostsPerRack
+	if n <= 0 {
+		return nil
+	}
+	ms := make([]float64, n)
+	for i := range ms {
+		ms[i] = 1
+	}
+	for i := (racks - 1) * hostsPerRack; i < n; i++ {
+		ms[i] = factor
+	}
+	return ms
+}
+
 // RampRanks returns multipliers that ramp linearly from 1 (rank 0) to
 // maxFactor (last rank) — a mixed-hardware cluster where each generation is
 // a bit slower than the last.
@@ -454,6 +510,65 @@ func TwoRackTopology(opt TwoRackOptions) *Topology {
 		t.AddLink(h, sw, opt.EdgeBps, opt.LatencySec)
 	}
 	t.AddLink(sw0, sw1, opt.BottleneckBps, opt.LatencySec)
+	return t
+}
+
+// RackedOptions configures the cluster-scale fabric of the largescale
+// experiment: many racks of hosts, each behind its own top-of-rack switch,
+// all ToR switches joined through a single spine.
+type RackedOptions struct {
+	// Racks is the rack count (defaults to 64).
+	Racks int
+	// HostsPerRack is the host count behind each ToR switch (defaults to 64).
+	HostsPerRack int
+	// BottleneckBps is the ToR-to-spine uplink speed.
+	BottleneckBps float64
+	// EdgeBps is the host-to-ToR bandwidth (defaults to 10 Gbps).
+	EdgeBps float64
+	// LatencySec is the per-link one-way latency (defaults to 100 µs).
+	LatencySec float64
+}
+
+// RackedTopology builds a two-tier (ToR + spine) cluster fabric with
+// Racks×HostsPerRack hosts numbered rack-major, so rank r lives in rack
+// r/HostsPerRack and the hierarchical collective's Racks grouping matches
+// the physical racks. Every inter-rack byte crosses two uplinks through the
+// spine; the uplinks are the bottleneck.
+//
+//	S1..Sk   Sk+1..S2k      ...
+//	  \|/       \|/
+//	 rack0     rack1   ...  rackN
+//	     \       |         /
+//	      —————spine——————
+//	       (bottleneck uplinks)
+func RackedTopology(opt RackedOptions) *Topology {
+	if opt.Racks <= 0 {
+		opt.Racks = 64
+	}
+	if opt.HostsPerRack <= 0 {
+		opt.HostsPerRack = 64
+	}
+	if opt.BottleneckBps <= 0 {
+		opt.BottleneckBps = 10 * Gbps
+	}
+	if opt.EdgeBps <= 0 {
+		opt.EdgeBps = 10 * Gbps
+	}
+	if opt.LatencySec <= 0 {
+		opt.LatencySec = 100e-6
+	}
+	t := NewTopology()
+	spine := t.AddNode("spine", Switch)
+	host := 0
+	for r := 0; r < opt.Racks; r++ {
+		tor := t.AddNode(fmt.Sprintf("rack%d", r), Switch)
+		t.AddLink(tor, spine, opt.BottleneckBps, opt.LatencySec)
+		for h := 0; h < opt.HostsPerRack; h++ {
+			host++
+			id := t.AddNode(fmt.Sprintf("S%d", host), Host)
+			t.AddLink(id, tor, opt.EdgeBps, opt.LatencySec)
+		}
+	}
 	return t
 }
 

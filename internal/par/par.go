@@ -1,0 +1,133 @@
+// Package par is the process-wide data-parallel worker budget shared by the
+// simulator's hot kernels (internal/compress, internal/collective). It
+// exists so goroutine-level parallelism inside a kernel composes with the
+// job-level parallelism of the experiment engine instead of multiplying
+// against it: the engine sizes the budget to GOMAXPROCS divided by its
+// concurrent-job count, and every kernel chunks against that single number.
+//
+// Chunk boundaries are never allowed to influence results — callers may only
+// parallelize loops whose iterations are independent (elementwise maps,
+// gathers/scatters over disjoint indices) or whose reduction is exactly
+// associative (float max). That is what keeps parallel runs bit-identical to
+// scalar runs, the repo-wide reproducibility contract.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MinWork is the element count below which a chunked dispatch costs more in
+// scheduling than it saves in compute; smaller loops run inline.
+const MinWork = 8192
+
+var budget atomic.Int64
+
+func init() { budget.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetBudget sets the maximum number of chunks a single For call fans out
+// into. The experiment engine calls this with GOMAXPROCS/parallel-jobs so
+// kernel parallelism does not oversubscribe the machine; values below 1
+// clamp to 1 (fully inline execution).
+func SetBudget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	budget.Store(int64(n))
+}
+
+// Budget returns the current chunk budget.
+func Budget() int { return int(budget.Load()) }
+
+// pool is a fixed set of worker goroutines sized once to GOMAXPROCS; For
+// feeds it chunks. A persistent pool keeps steady-state iterations free of
+// goroutine churn. Chunk functions must not call For themselves: a nested
+// dispatch from inside a worker could leave every worker waiting on work
+// only workers can drain.
+var (
+	poolOnce sync.Once
+	poolCh   chan poolTask
+)
+
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0)
+		poolCh = make(chan poolTask, 4*workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for t := range poolCh {
+					t.fn(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// chunks returns how many contiguous ranges For splits n items into under
+// the current budget: at most Budget(), and never so many that chunks drop
+// below MinWork/2 elements.
+func chunks(n int) int {
+	w := Budget()
+	if w <= 1 || n < MinWork {
+		return 1
+	}
+	if max := n / (MinWork / 2); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn over [0, n) split into contiguous chunks executed on the
+// worker pool. fn(lo, hi) must treat its iterations as independent of every
+// other chunk's — results must not depend on chunk boundaries. Small n (or a
+// budget of 1) runs inline on the caller's goroutine.
+func For(n int, fn func(lo, hi int)) {
+	ForChunks(n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForChunks is For with the chunk ordinal exposed, for callers that combine
+// per-chunk partial results (e.g. an exact max reduction). It returns the
+// number of chunks used; fn is called exactly once per chunk with ordinals
+// 0..chunks-1 covering [0, n) in order.
+func ForChunks(n int, fn func(chunk, lo, hi int)) int {
+	c := chunks(n)
+	if c == 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return 1
+	}
+	ensurePool()
+	size := (n + c - 1) / c
+	var wg sync.WaitGroup
+	for i := 0; i < c-1; i++ {
+		lo := i * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		chunk := i
+		poolCh <- poolTask{fn: func(lo, hi int) { fn(chunk, lo, hi) }, lo: lo, hi: hi, wg: &wg}
+	}
+	// The caller's goroutine does the final chunk instead of idling at the
+	// WaitGroup.
+	lo := (c - 1) * size
+	if lo > n {
+		lo = n
+	}
+	fn(c-1, lo, n)
+	wg.Wait()
+	return c
+}

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	defer SetBudget(Budget())
+	for _, budget := range []int{1, 2, 7, runtime.GOMAXPROCS(0) * 4} {
+		for _, n := range []int{0, 1, MinWork - 1, MinWork, MinWork*3 + 17} {
+			SetBudget(budget)
+			hits := make([]int32, n)
+			For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("budget %d n %d: index %d visited %d times", budget, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksPartialsPartitionTheRange(t *testing.T) {
+	defer SetBudget(Budget())
+	SetBudget(8)
+	n := MinWork * 4
+	c := ForChunks(n, func(chunk, lo, hi int) {})
+	if c < 1 {
+		t.Fatalf("chunk count %d", c)
+	}
+	// Partial sums accumulated per chunk must combine to the scalar total.
+	partial := make([]int64, c)
+	got := ForChunks(n, func(chunk, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		partial[chunk] = s
+	})
+	if got != c {
+		t.Fatalf("chunk count changed between identical calls: %d vs %d", got, c)
+	}
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	want := int64(n) * int64(n-1) / 2
+	if total != want {
+		t.Fatalf("partials sum to %d, want %d", total, want)
+	}
+}
+
+func TestSmallInputsStayInline(t *testing.T) {
+	defer SetBudget(Budget())
+	SetBudget(16)
+	if c := ForChunks(MinWork-1, func(chunk, lo, hi int) {}); c != 1 {
+		t.Fatalf("sub-MinWork input split into %d chunks", c)
+	}
+}
+
+func TestSetBudgetClampsToOne(t *testing.T) {
+	defer SetBudget(Budget())
+	SetBudget(-3)
+	if b := Budget(); b != 1 {
+		t.Fatalf("budget %d after SetBudget(-3)", b)
+	}
+	if c := ForChunks(MinWork*8, func(chunk, lo, hi int) {}); c != 1 {
+		t.Fatalf("budget 1 produced %d chunks", c)
+	}
+}

@@ -31,11 +31,17 @@ import "math"
 // clocks only ever move forward.
 type Timeline struct {
 	clocks []float64
+
+	// maxv caches the running maximum so Max is O(1) on the (overwhelmingly
+	// common) forward-only update pattern; maxDirty forces an O(world)
+	// rescan after an update that may have lowered the previous maximum.
+	maxv     float64
+	maxDirty bool
 }
 
 // NewTimeline builds a timeline for world ranks, all at time zero.
 func NewTimeline(world int) *Timeline {
-	return &Timeline{clocks: make([]float64, world)}
+	return &Timeline{clocks: make([]float64, world), maxDirty: true}
 }
 
 // World returns the number of ranks.
@@ -45,24 +51,38 @@ func (t *Timeline) World() int { return len(t.clocks) }
 func (t *Timeline) Clock(rank int) float64 { return t.clocks[rank] }
 
 // Set moves rank's clock to v.
-func (t *Timeline) Set(rank int, v float64) { t.clocks[rank] = v }
+func (t *Timeline) Set(rank int, v float64) {
+	if !t.maxDirty {
+		if v >= t.maxv {
+			t.maxv = v
+		} else if t.clocks[rank] == t.maxv {
+			// The rank being lowered may have been the sole maximum holder.
+			t.maxDirty = true
+		}
+	}
+	t.clocks[rank] = v
+}
 
 // Advance moves rank's clock forward by d and returns the new time.
 func (t *Timeline) Advance(rank int, d float64) float64 {
-	t.clocks[rank] += d
+	t.Set(rank, t.clocks[rank]+d)
 	return t.clocks[rank]
 }
 
 // Max returns the latest clock — the time at which a full barrier would
 // release.
 func (t *Timeline) Max() float64 {
-	m := math.Inf(-1)
-	for _, c := range t.clocks {
-		if c > m {
-			m = c
+	if t.maxDirty {
+		m := math.Inf(-1)
+		for _, c := range t.clocks {
+			if c > m {
+				m = c
+			}
 		}
+		t.maxv = m
+		t.maxDirty = false
 	}
-	return m
+	return t.maxv
 }
 
 // LaunchTime returns the synchronization barrier for a collective whose
