@@ -22,6 +22,8 @@
 //	pactrain-bench -perf                  # perf lane: write BENCH_full.json
 //	pactrain-bench -perf -quick -perf-compare BENCH_quick.json   # CI check
 //	pactrain-bench -exp all -cpuprofile cpu.pprof   # profile a run
+//	pactrain-bench -exp stragglers -quick -trace trace.json -trace-summary
+//	                                      # per-rank Perfetto timeline
 //
 // Full-fidelity runs train the four lite-twin models for 12 epochs each and
 // take minutes of wall time; -quick substitutes the MLP twin and finishes
@@ -67,6 +69,9 @@ func main() {
 	perf := flag.Bool("perf", false, "run the pinned perf-regression grid instead of experiments")
 	perfOut := flag.String("perf-out", "", "perf report output path (default BENCH_<grid>.json)")
 	perfCompare := flag.String("perf-compare", "", "baseline BENCH_*.json to diff the perf run against; regressions >10% exit non-zero")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every traced run to this file (open in Perfetto)")
+	traceSummary := flag.Bool("trace-summary", false, "print the per-span aggregate of the collected trace to stderr (requires -trace)")
+	validateTrace := flag.Bool("validate-trace", false, "structurally validate the written trace file; exit non-zero on failure (requires -trace)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -154,6 +159,14 @@ func main() {
 	if !*quiet {
 		opt.Log = os.Stderr
 	}
+	var tracer *pactrain.Tracer
+	if *tracePath != "" {
+		tracer = pactrain.NewTracer()
+		opt.Tracer = tracer
+	} else if *traceSummary || *validateTrace {
+		fmt.Fprintf(os.Stderr, "pactrain-bench: -trace-summary and -validate-trace require -trace\n")
+		exit(2)
+	}
 	// One engine for the whole invocation: experiments share trained runs.
 	eng := pactrain.NewExperimentEngine(opt)
 	opt.Engine = eng
@@ -185,5 +198,26 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "engine: %s\n", eng.Stats().Summary())
+	}
+	if tracer != nil {
+		if err := pactrain.WriteTrace(tracer, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+			exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "trace: %d runs -> %s\n", tracer.Runs(), *tracePath)
+		}
+		if *traceSummary {
+			fmt.Fprint(os.Stderr, pactrain.TraceSummary(tracer))
+		}
+		if *validateTrace {
+			if err := pactrain.ValidateTraceFile(*tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "pactrain-bench: trace validation: %v\n", err)
+				exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "trace: %s validates\n", *tracePath)
+			}
+		}
 	}
 }

@@ -13,8 +13,13 @@
 //	     -d '{"experiment":"fig3","quick":true}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -s localhost:8080/v1/jobs/j000001/result
+//	curl -sN localhost:8080/v1/jobs/j000001/events   # live SSE stream
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
+//
+// -log-format json switches the process log to one JSON object per
+// observable event (job transitions, engine activity, trainer heartbeats) —
+// the same schema the SSE stream's data frames carry.
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions are rejected
 // (healthz flips to 503 so load balancers stop routing), accepted jobs
@@ -46,11 +51,22 @@ func main() {
 	memoLimit := flag.Int("memo-limit", 0, "in-memory trained-result memo bound; disk-persisted entries evict past this (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Minute, "how long shutdown waits for accepted jobs")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	logFormat := flag.String("log-format", "text", "log shape: text (human lines) or json (one event object per line, the SSE payload schema)")
 	flag.Parse()
 
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "pactrain-serve: unknown -log-format %q (valid: text, json)\n", *logFormat)
+		os.Exit(2)
+	}
 	var logw io.Writer = os.Stderr
 	if *quiet {
 		logw = io.Discard
+	}
+	// The process banner and drain notices are human lines; in json mode the
+	// log stream must stay one event object per line.
+	banner := logw
+	if *logFormat == "json" {
+		banner = io.Discard
 	}
 	s, err := serve.New(serve.Options{
 		Parallelism:  *parallel,
@@ -60,6 +76,7 @@ func main() {
 		QueueDepth:   *queueDepth,
 		HistoryLimit: *history,
 		Log:          logw,
+		LogFormat:    *logFormat,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pactrain-serve: %v\n", err)
@@ -79,11 +96,11 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		fmt.Fprintf(logw, "pactrain-serve: signal received, draining\n")
+		fmt.Fprintf(banner, "pactrain-serve: signal received, draining\n")
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := s.Shutdown(drainCtx); err != nil {
-			fmt.Fprintf(logw, "pactrain-serve: drain incomplete: %v\n", err)
+			fmt.Fprintf(banner, "pactrain-serve: drain incomplete: %v\n", err)
 		}
 		// Keep serving polls until the drain finishes, then close the
 		// listener so in-flight responses flush.
@@ -92,7 +109,7 @@ func main() {
 		_ = httpSrv.Shutdown(closeCtx)
 	}()
 
-	fmt.Fprintf(logw, "pactrain-serve: listening on %s (engine parallelism %d, %d workers)\n",
+	fmt.Fprintf(banner, "pactrain-serve: listening on %s (engine parallelism %d, %d workers)\n",
 		*addr, *parallel, *workers)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "pactrain-serve: %v\n", err)

@@ -10,6 +10,7 @@
 //	pactrain-train -model MLP -scheme all-reduce -csv
 //	pactrain-train -scheme adaptive -adapt-margin 0.1 -adapt-candidates mask-compact-ternary,index-list
 //	pactrain-train -overlap backward -straggler 2 -jitter 0.1   # per-rank timelines
+//	pactrain-train -scheme pactrain-ternary -trace run.json -trace-summary
 package main
 
 import (
@@ -66,6 +67,8 @@ func main() {
 	adaptMargin := flag.Float64("adapt-margin", 0, "adaptive scheme: hysteresis win margin (0 = default)")
 	adaptDwell := flag.Int("adapt-dwell", 0, "adaptive scheme: challenger rounds before a format switch (0 = default)")
 	adaptCandidates := flag.String("adapt-candidates", "", "adaptive scheme: comma-separated candidate formats (empty = all)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
+	traceSummary := flag.Bool("trace-summary", false, "print the per-span aggregate of the collected trace to stderr (requires -trace)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -125,10 +128,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *traceSummary && *tracePath == "" {
+		fmt.Fprintf(os.Stderr, "pactrain-train: -trace-summary requires -trace\n")
+		os.Exit(2)
+	}
+
 	res, err := pactrain.Train(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *tracePath != "" {
+		tracer := pactrain.NewTracer()
+		pactrain.TraceRun(tracer, fmt.Sprintf("%s %s", res.Model, res.Scheme), cfg, res)
+		if err := pactrain.WriteTrace(tracer, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s\n", *tracePath)
+		if *traceSummary {
+			fmt.Fprint(os.Stderr, pactrain.TraceSummary(tracer))
+		}
 	}
 
 	if *csv {

@@ -173,6 +173,9 @@ type Controller struct {
 	buckets  map[int]*bucketState
 	counts   map[string]int
 	switches int
+	// current is the format of the most recent round decision, for live
+	// telemetry (Current); hysteresis never reads it.
+	current string
 }
 
 // New builds a controller from validated options.
@@ -204,31 +207,54 @@ func New(opt Options) *Controller {
 	}
 }
 
-// scaleWire applies the lite-twin wire scale to a format's per-element
-// bytes, as hookEnv.scaleWire does for the real ops.
-func (c *Controller) scaleWire(w collective.WireFormat) collective.WireFormat {
-	w.BytesPerElement *= c.wireScale
+// scaleWireFormat applies the lite-twin wire scale to a format's
+// per-element bytes, as hookEnv.scaleWire does for the real ops.
+func scaleWireFormat(w collective.WireFormat, scale float64) collective.WireFormat {
+	w.BytesPerElement *= scale
 	return w
 }
 
 // priceFormat quotes one candidate for a bucket of n elements with nnz
 // retained coordinates at absolute time t.
-func (c *Controller) priceFormat(format string, n, nnz int, t float64) float64 {
+func priceFormat(algo collective.Algorithm, pricing *netsim.Fabric, hosts []netsim.NodeID,
+	wireScale float64, format string, n, nnz int, t float64) float64 {
 	switch format {
 	case FormatDense:
-		return c.algo.AllReduce(c.pricing, c.hosts, n, c.scaleWire(collective.WireFP32), t)
+		return algo.AllReduce(pricing, hosts, n, scaleWireFormat(collective.WireFP32, wireScale), t)
 	case FormatCompact:
-		return c.algo.AllReduce(c.pricing, c.hosts, nnz, c.scaleWire(collective.WireFP32), t)
+		return algo.AllReduce(pricing, hosts, nnz, scaleWireFormat(collective.WireFP32, wireScale), t)
 	case FormatCompactTernary:
-		return c.algo.AllReduce(c.pricing, c.hosts, nnz, c.scaleWire(collective.WireInt8), t)
+		return algo.AllReduce(pricing, hosts, nnz, scaleWireFormat(collective.WireInt8, wireScale), t)
 	case FormatIndexList:
-		sizes := make([]int, len(c.hosts))
+		sizes := make([]int, len(hosts))
 		for i := range sizes {
 			sizes[i] = nnz
 		}
-		return c.algo.AllGather(c.pricing, c.hosts, sizes, c.scaleWire(collective.WireSparse), t)
+		return algo.AllGather(pricing, hosts, sizes, scaleWireFormat(collective.WireSparse, wireScale), t)
 	}
 	panic(fmt.Sprintf("adaptive: unknown format %q", format))
+}
+
+// PriceQuotes prices every candidate wire format for a bucket of n elements
+// with nnz retained coordinates at absolute time t, in candidate order. It
+// is the quote vector behind Controller.Decide, exported so the trace
+// replay (internal/harness) can reprice a recorded adaptive round against
+// the recorded fabric without rebuilding a controller. Callers must pass a
+// fabric that is safe to quote on — a PricingClone — so quoted-but-not-taken
+// transfers never touch live byte accounting; wireScale <= 0 means 1.
+func PriceQuotes(algo collective.Algorithm, pricing *netsim.Fabric, hosts []netsim.NodeID,
+	wireScale float64, candidates []string, n, nnz int, t float64) []Quote {
+	if wireScale <= 0 {
+		wireScale = 1
+	}
+	quotes := make([]Quote, 0, len(candidates))
+	for _, f := range candidates {
+		quotes = append(quotes, Quote{
+			Format:      f,
+			CostSeconds: priceFormat(algo, pricing, hosts, wireScale, f, n, nnz, t),
+		})
+	}
+	return quotes
 }
 
 // Decide prices every candidate for one bucket and returns the format to
@@ -244,17 +270,15 @@ func (c *Controller) priceFormat(format string, n, nnz int, t float64) float64 {
 // the margin.
 func (c *Controller) Decide(bucket, n, nnz int, t float64) Decision {
 	dec := Decision{
-		Quotes:        make([]Quote, 0, len(c.candidates)),
+		Quotes:        PriceQuotes(c.algo, c.pricing, c.hosts, c.wireScale, c.candidates, n, nnz, t),
 		BottleneckBps: c.pricing.BottleneckBandwidthAt(t),
 	}
 	costs := make(map[string]float64, len(c.candidates))
 	best := ""
-	for _, f := range c.candidates {
-		cost := c.priceFormat(f, n, nnz, t)
-		costs[f] = cost
-		dec.Quotes = append(dec.Quotes, Quote{Format: f, CostSeconds: cost})
-		if best == "" || cost < costs[best] {
-			best = f
+	for _, q := range dec.Quotes {
+		costs[q.Format] = q.CostSeconds
+		if best == "" || q.CostSeconds < costs[best] {
+			best = q.Format
 		}
 	}
 
@@ -283,8 +307,13 @@ func (c *Controller) Decide(bucket, n, nnz int, t float64) Decision {
 	}
 	dec.Format = st.incumbent
 	c.counts[st.incumbent]++
+	c.current = st.incumbent
 	return dec
 }
+
+// Current returns the format of the most recent round decision, or ""
+// before any decision has been taken (the unstable full-sync phase).
+func (c *Controller) Current() string { return c.current }
 
 // Reset forgets all per-bucket hysteresis state. The hook calls it when the
 // pruning step invalidates every mask: the densities the incumbents were

@@ -173,3 +173,6 @@ func (h *adaptiveHook) FormatCounts() map[string]int { return h.ctrl.Counts() }
 
 // FormatSwitches reports the number of completed format switches.
 func (h *adaptiveHook) FormatSwitches() int { return h.ctrl.Switches() }
+
+// CurrentFormat implements formatReporter for progress heartbeats.
+func (h *adaptiveHook) CurrentFormat() string { return h.ctrl.Current() }

@@ -110,6 +110,12 @@ type Config struct {
 	// RecordComm enables per-iteration communication logging on rank 0 for
 	// bandwidth re-costing.
 	RecordComm bool
+
+	// OnProgress, when non-nil, receives rank 0's evaluation heartbeats as
+	// the run advances (progress.go). Observation-only and excluded from
+	// the fingerprint: a callback cannot change the trajectory, so two
+	// configs differing only here are the same run.
+	OnProgress func(Progress) `json:"-"`
 }
 
 // DefaultConfig returns a small-but-realistic configuration for the given

@@ -1,0 +1,37 @@
+package core
+
+// Progress is one live heartbeat from rank 0 of a running training,
+// emitted at every evaluation point (the Curve's cadence: EvalEvery
+// iterations, or end of epoch). It exists for observers — the serve SSE
+// stream and structured logs relay it verbatim — and carries no state the
+// Result does not already record.
+type Progress struct {
+	// Iter and Epoch locate the heartbeat in the run.
+	Iter  int `json:"iter"`
+	Epoch int `json:"epoch"`
+	// SimSeconds is rank 0's simulated clock at the heartbeat.
+	SimSeconds float64 `json:"sim_seconds"`
+	// Acc and Loss are the evaluation accuracy and last training loss.
+	Acc  float64 `json:"acc"`
+	Loss float64 `json:"loss"`
+	// Format is the wire format the current scheme is sending — the
+	// adaptive controller's current choice, or empty for static schemes.
+	Format string `json:"format,omitempty"`
+}
+
+// formatReporter is implemented by hooks that can name the wire format
+// they are currently sending (the adaptive controller); heartbeats carry
+// it so observers can watch format switches live.
+type formatReporter interface{ CurrentFormat() string }
+
+// emitProgress builds and delivers a heartbeat; no-op without a callback.
+func emitProgress(cfg *Config, hook any, iter, epoch int, simTime, acc, loss float64) {
+	if cfg.OnProgress == nil {
+		return
+	}
+	p := Progress{Iter: iter, Epoch: epoch, SimSeconds: simTime, Acc: acc, Loss: loss}
+	if fr, ok := hook.(formatReporter); ok {
+		p.Format = fr.CurrentFormat()
+	}
+	cfg.OnProgress(p)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProgressHeartbeatsMatchCurve checks that rank 0 emits exactly one
+// heartbeat per curve point, in order, carrying the same iteration, clock,
+// and accuracy the Result records.
+func TestProgressHeartbeatsMatchCurve(t *testing.T) {
+	cfg := tinyConfig("all-reduce")
+	var beats []Progress
+	cfg.OnProgress = func(p Progress) { beats = append(beats, p) }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beats) != len(res.Curve.Points) {
+		t.Fatalf("%d heartbeats, %d curve points", len(beats), len(res.Curve.Points))
+	}
+	for i, p := range res.Curve.Points {
+		b := beats[i]
+		if b.Iter != p.Iter || b.Epoch != p.Epoch || b.SimSeconds != p.SimTime ||
+			b.Acc != p.Acc || b.Loss != p.Loss {
+			t.Fatalf("heartbeat %d = %+v, curve point %+v", i, b, p)
+		}
+		if b.Format != "" {
+			t.Fatalf("static scheme heartbeat names a format: %q", b.Format)
+		}
+	}
+}
+
+// TestProgressReportsAdaptiveFormat checks that adaptive runs stamp
+// heartbeats with the controller's current wire format once it has
+// decided anything.
+func TestProgressReportsAdaptiveFormat(t *testing.T) {
+	cfg := tinyConfig(SchemeAdaptive)
+	var formats []string
+	cfg.OnProgress = func(p Progress) { formats = append(formats, p.Format) }
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(formats) == 0 {
+		t.Fatal("no heartbeats")
+	}
+	named := false
+	for _, f := range formats {
+		if f != "" {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatal("no heartbeat carried the adaptive controller's format")
+	}
+}
+
+// TestProgressCallbackIsObservationOnly pins the tentpole's invariant: a
+// progress callback changes neither the fingerprint nor any recorded
+// outcome of the run.
+func TestProgressCallbackIsObservationOnly(t *testing.T) {
+	plain := tinyConfig("pactrain-ternary")
+	hooked := tinyConfig("pactrain-ternary")
+	hooked.OnProgress = func(Progress) {}
+	if plain.Fingerprint() != hooked.Fingerprint() {
+		t.Fatal("OnProgress changed the fingerprint")
+	}
+	a, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(hooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.WallSeconds, b.WallSeconds = 0, 0 // host wall-clock, not simulated state
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("OnProgress changed the Result")
+	}
+}

@@ -275,11 +275,13 @@ func runWorker(cfg *Config, rank int, cluster *collective.Cluster,
 			if evalNow(false) {
 				acc := evaluate(model, testSet)
 				res.Curve.Add(metrics.Point{Iter: iter, Epoch: epoch, SimTime: simTime, Acc: acc, Loss: lastLoss})
+				emitProgress(cfg, hook, iter, epoch, simTime, acc, lastLoss)
 			}
 		}
 		if evalNow(true) && cfg.EvalEvery == 0 {
 			acc := evaluate(model, testSet)
 			res.Curve.Add(metrics.Point{Iter: iter, Epoch: epoch, SimTime: simTime, Acc: acc, Loss: lastLoss})
+			emitProgress(cfg, hook, iter, epoch, simTime, acc, lastLoss)
 		}
 	}
 

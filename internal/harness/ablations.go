@@ -48,6 +48,7 @@ func RunAblationMT(opt Options) (*AblationMTResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ablation-mt: %w", err)
 	}
+	opt.traceRuns(jobs, results)
 	for wi, window := range windows {
 		res := results[wi]
 		tta, reached := res.Curve.TTA(w.TargetAcc)
@@ -105,6 +106,8 @@ func RunAblationTernary(opt Options) (*AblationTernaryResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ablation-tern: %w", err)
 	}
+	opt.traceRuns(jobs, results)
+	opt.traceRecost("ablation-tern", map[string]any{"bandwidths": len(Fig3Bandwidths())})
 	plainRes, plainCfg := results[0], jobs[0].Config
 	ternRes, ternCfg := results[1], jobs[1].Config
 	for _, bw := range Fig3Bandwidths() {
@@ -167,6 +170,8 @@ func RunAblationTopo(opt Options) (*AblationTopoResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ablation-topo: %w", err)
 	}
+	opt.traceRuns(jobs, results)
+	opt.traceRecost("ablation-topo", map[string]any{"topologies": []any{"fig4", "flat"}})
 	for si, scheme := range schemes {
 		res, cfg := results[si], jobs[si].Config
 		// Fig. 4 at bw bottleneck.

@@ -138,6 +138,7 @@ func RunAdaptive(opt Options) (*AdaptiveExpResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adaptive statics: %w", err)
 	}
+	opt.traceRuns(staticJobs, staticRes)
 
 	// Operating-point fabrics. The varbw oscillation period is sized per
 	// bandwidth from the ternary baseline re-costed on the untraced WAN
@@ -196,6 +197,12 @@ func RunAdaptive(opt Options) (*AdaptiveExpResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adaptive cells: %w", err)
 	}
+	// The adaptive cells carry their operating-point fabric in the config
+	// (Topology + Traces), so TraceRun replays each on its recorded fabric
+	// — the only fabric an adaptive log replays exactly (DESIGN.md §8) —
+	// with repriced candidate quotes on every decision instant.
+	opt.traceRuns(adaptiveJobs, adaptiveRes)
+	opt.traceRecost("adaptive", map[string]any{"points": len(points), "formats": len(out.Formats)})
 
 	for pi, p := range points {
 		for fi, f := range out.Formats {

@@ -73,6 +73,10 @@ func RunCollectives(opt Options) (*CollectivesResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collectives: %w", err)
 	}
+	opt.traceRuns(jobs, results)
+	opt.traceRecost("collectives", map[string]any{
+		"algorithms": len(out.Algorithms), "bandwidths": len(out.Bandwidths),
+	})
 
 	for si, scheme := range out.Schemes {
 		res, cfg := results[si], jobs[si].Config

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pactrain/internal/core"
 )
@@ -70,6 +71,20 @@ func (c *Cache) Load(fp string) (*core.Result, bool) {
 	// Wall time is a property of the recorded process, meaningless here.
 	entry.Result.WallSeconds = 0
 	return entry.Result, true
+}
+
+// Age returns how many seconds ago the entry for a fingerprint was
+// written, or 0 when the entry (or its mtime) is unavailable — telemetry
+// for the cache-hit-age histogram, never a correctness input.
+func (c *Cache) Age(fp string) float64 {
+	info, err := os.Stat(c.path(fp))
+	if err != nil {
+		return 0
+	}
+	if age := time.Since(info.ModTime()).Seconds(); age > 0 {
+		return age
+	}
+	return 0
 }
 
 // Store persists a Result under a fingerprint.

@@ -65,6 +65,10 @@ const (
 	// EventTrainDone fires when a training finishes; Err is non-empty on
 	// failure.
 	EventTrainDone
+	// EventProgress fires on each of a running training's rank-0 evaluation
+	// heartbeats (core.Progress); Progress carries the payload. Appended
+	// after the lifecycle kinds so their numeric values never move.
+	EventProgress
 )
 
 // String names the kind for logs and API payloads.
@@ -80,6 +84,8 @@ func (k EventKind) String() string {
 		return "train-start"
 	case EventTrainDone:
 		return "train-done"
+	case EventProgress:
+		return "progress"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -97,6 +103,12 @@ type Event struct {
 	SimSeconds float64
 	// Err carries the failure of an EventTrainDone.
 	Err string
+	// Progress carries the heartbeat payload of an EventProgress (nil on
+	// every other kind).
+	Progress *core.Progress
+	// CacheAgeSeconds is, on an EventCacheHit, how long ago the served
+	// entry was written (0 when unknown).
+	CacheAgeSeconds float64
 	// Stats snapshots the engine counters just after the event.
 	Stats Stats
 }
@@ -278,7 +290,11 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, bool, error) {
 			e.mu.Lock()
 			e.stats.CacheHits++
 			e.mu.Unlock()
-			e.emit(EventCacheHit, job.Label, fp, res.SimSeconds, nil)
+			if e.onEvent != nil {
+				ev := Event{Kind: EventCacheHit, Label: job.Label, Fingerprint: fp,
+					SimSeconds: res.SimSeconds, CacheAgeSeconds: e.cache.Age(fp), Stats: e.Stats()}
+				e.onEvent(ev)
+			}
 			e.logf("engine: %-32s %s cache hit", job.Label, fp)
 			return res, true, nil
 		}
@@ -290,7 +306,21 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, bool, error) {
 	e.emit(EventTrainStart, job.Label, fp, 0, nil)
 	e.logf("engine: %-32s %s training (%s/%s, %d epochs, world %d)",
 		job.Label, fp, job.Config.ModelName, job.Config.Scheme, job.Config.Epochs, job.Config.World)
-	res, err := runConfig(job.Config)
+	// execute owns a by-value copy of the config, so relaying heartbeats to
+	// the observer never mutates the caller's job. A callback the caller
+	// installed keeps firing first.
+	cfg := job.Config
+	if e.onEvent != nil {
+		callerCB := cfg.OnProgress
+		cfg.OnProgress = func(p core.Progress) {
+			if callerCB != nil {
+				callerCB(p)
+			}
+			e.onEvent(Event{Kind: EventProgress, Label: job.Label, Fingerprint: fp,
+				SimSeconds: p.SimSeconds, Progress: &p, Stats: e.Stats()})
+		}
+	}
+	res, err := runConfig(cfg)
 	if err != nil {
 		err = fmt.Errorf("engine: job %s (%s): %w", job.Label, fp, err)
 		e.emit(EventTrainDone, job.Label, fp, 0, err)

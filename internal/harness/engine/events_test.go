@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"pactrain/internal/core"
 )
@@ -207,3 +208,66 @@ var testResult = sync.OnceValue(func() *core.Result {
 	}
 	return res
 })
+
+// TestEventProgressRelaysHeartbeats checks that a training with an event
+// observer emits EventProgress heartbeats carrying the core.Progress
+// payload, and that a caller-installed OnProgress keeps firing too.
+func TestEventProgressRelaysHeartbeats(t *testing.T) {
+	t.Parallel()
+	var rec eventRecorder
+	e := New(Options{Parallelism: 1, OnEvent: rec.record})
+	cfg := testConfig("all-reduce")
+	callerBeats := 0
+	cfg.OnProgress = func(core.Progress) { callerBeats++ }
+	if _, err := e.Run(Job{Label: "progress", Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.count(EventProgress)
+	if got == 0 {
+		t.Fatal("no EventProgress emitted")
+	}
+	if callerBeats != got {
+		t.Fatalf("caller callback fired %d times, observer saw %d heartbeats", callerBeats, got)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, ev := range rec.evs {
+		if ev.Kind != EventProgress {
+			continue
+		}
+		if ev.Progress == nil || ev.Progress.Iter == 0 || ev.SimSeconds != ev.Progress.SimSeconds {
+			t.Fatalf("malformed progress event: %+v", ev)
+		}
+	}
+}
+
+// TestEventCacheHitCarriesAge checks that serving from the on-disk cache
+// stamps the event with the entry's age.
+func TestEventCacheHitCarriesAge(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cfg := testConfig("all-reduce")
+	if _, err := New(Options{Parallelism: 1, CacheDir: dir}).Run(Job{Label: "warm", Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the entry so the age is unambiguous.
+	fp := cfg.Fingerprint()
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, fp+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	var rec eventRecorder
+	if _, err := New(Options{Parallelism: 1, CacheDir: dir, OnEvent: rec.record}).Run(Job{Label: "hit", Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count(EventCacheHit) != 1 {
+		t.Fatal("expected one cache-hit event")
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, ev := range rec.evs {
+		if ev.Kind == EventCacheHit && (ev.CacheAgeSeconds < 3500 || ev.CacheAgeSeconds > 7200) {
+			t.Fatalf("cache hit age %v s, want ≈ 3600", ev.CacheAgeSeconds)
+		}
+	}
+}

@@ -61,6 +61,8 @@ func RunFig3(opt Options) (*Fig3Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig3: %w", err)
 	}
+	opt.traceRuns(jobs, results)
+	opt.traceRecost("fig3", map[string]any{"bandwidths": len(bandwidths), "runs": len(jobs)})
 
 	for wi, w := range workloads {
 		out.Models = append(out.Models, w.Model)

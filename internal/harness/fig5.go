@@ -55,6 +55,7 @@ func RunFig5(opt Options) (*Fig5Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig5: %w", err)
 	}
+	opt.traceRuns(jobs, results)
 
 	ttas := map[string]float64{}
 	for si, scheme := range schemes {

@@ -73,6 +73,7 @@ func RunFig6(opt Options) (*Fig6Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig6: %w", err)
 	}
+	opt.traceRuns(jobs, results)
 
 	for wi, w := range workloads {
 		out.Models = append(out.Models, w.Model)

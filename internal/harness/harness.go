@@ -33,6 +33,7 @@ import (
 	"pactrain/internal/metrics"
 	"pactrain/internal/netsim"
 	"pactrain/internal/nn"
+	"pactrain/internal/obs"
 	"pactrain/internal/simclock"
 )
 
@@ -108,6 +109,12 @@ type Options struct {
 	// (model, scheme, seed) trainings between them. When nil, each
 	// experiment builds a private engine from Parallelism/CacheDir/Log.
 	Engine *engine.Engine
+
+	// Tracer, when non-nil, receives a per-rank span replay of every run an
+	// experiment trains or re-costs (trace.go). Observation-only: reports
+	// and fingerprints are byte-identical with or without it, and serve's
+	// coalescing key ignores it (pointer field, like Engine).
+	Tracer *obs.Tracer
 }
 
 // Normalized returns the options with every default applied — the

@@ -151,6 +151,11 @@ func RunLargeScale(opt Options) (*LargeScaleResult, error) {
 	}
 	opt.logf("LargeScale: %d schemes × %d severities at %d ranks (%d racks × %d hosts, hierarchical)",
 		len(out.Schemes), len(out.Severities), out.World, racks, hosts)
+	// Deliberately untraced: a span replay at 4,096 ranks emits on the
+	// order of a million events per cell, which no viewer loads. The cells
+	// leave a harness mark instead; use the stragglers experiment for a
+	// viewable per-rank picture of the same straggler mechanics.
+	opt.traceRecost("largescale", map[string]any{"world": out.World})
 
 	topo := netsim.RackedTopology(netsim.RackedOptions{Racks: racks, HostsPerRack: hosts})
 	alg := collective.MustAlgorithm(out.Collective)

@@ -106,8 +106,13 @@ func RunStragglers(opt Options) (*StragglersResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stragglers: %w", err)
 	}
+	opt.traceRuns(jobs, results)
+	opt.traceRecost("stragglers", map[string]any{
+		"overlaps": len(out.Overlaps), "severities": len(out.Severities),
+	})
 
 	topo := netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: out.BandwidthBps})
+	maxSev := out.Severities[len(out.Severities)-1]
 	for si, scheme := range out.Schemes {
 		res := results[si]
 		for _, overlap := range out.Overlaps {
@@ -123,6 +128,15 @@ func RunStragglers(opt Options) (*StragglersResult, error) {
 				}
 				cum := recostCum(res, &cfg, netsim.NewFabric(topo))
 				tta, reached := ttaFromCum(res, cum, w.TargetAcc)
+				if opt.Tracer != nil && sev == maxSev {
+					// Replay the worst-severity cells in full: the wait
+					// spans on the slow rank's peers are the experiment's
+					// whole story. The milder cells stay as marks —
+					// tracing the full grid would dwarf the training runs.
+					label := fmt.Sprintf("stragglers cell %s/%s sev %g",
+						DisplayName(scheme), overlap, sev)
+					traceRunOn(opt.Tracer, label, "", cfg, res, netsim.NewFabric(topo))
+				}
 				if sev == 1 {
 					uniformTTA = tta
 				}

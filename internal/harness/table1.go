@@ -83,6 +83,8 @@ func RunTable1(opt Options) (*Table1Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("table1: %w", err)
 	}
+	opt.traceRuns(jobs, results)
+	opt.traceRecost("table1", map[string]any{"bandwidth": bandwidthLabel(bw), "runs": len(jobs)})
 
 	baseRes, baseCfg := results[0], jobs[0].Config
 	baseIters, baseReached := baseRes.Curve.IterTo(w.TargetAcc)

@@ -87,6 +87,8 @@ func RunAblationVarBW(opt Options) (*VarBWResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("varbw: %w", err)
 	}
+	opt.traceRuns(jobs, results)
+	opt.traceRecost("ablation-varbw", map[string]any{"period_sec": period})
 	for si, scheme := range schemes {
 		res, cfg := results[si], jobs[si].Config
 		topo := netsim.Fig4Topology(netsim.Fig4Options{BottleneckBps: cfg.BottleneckBps})

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRenderOrderAndTypes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs accepted")
+	g := r.Gauge("queue_depth", "jobs waiting")
+	h := r.Histogram("wall_seconds", "job wall latency", []float64{0.1, 1, 10})
+
+	c.Add(3)
+	g.Set(2)
+	g.Add(-1)
+	h.Observe(0.05)
+	h.Observe(1) // lands on the le="1" bound (le is inclusive)
+	h.Observe(100)
+
+	got := r.Render()
+	want := strings.Join([]string{
+		"# HELP jobs_total jobs accepted",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		"# HELP queue_depth jobs waiting",
+		"# TYPE queue_depth gauge",
+		"queue_depth 1",
+		"# HELP wall_seconds job wall latency",
+		"# TYPE wall_seconds histogram",
+		`wall_seconds_bucket{le="0.1"} 1`,
+		`wall_seconds_bucket{le="1"} 2`,
+		`wall_seconds_bucket{le="10"} 2`,
+		`wall_seconds_bucket{le="+Inf"} 3`,
+		"wall_seconds_sum 101.05",
+		"wall_seconds_count 3",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if v := c.Value(); v != 3 {
+		t.Errorf("counter value = %v, want 3", v)
+	}
+	if h.Count() != 3 || h.Sum() != 101.05 {
+		t.Errorf("histogram count/sum = %d/%v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryDoubleDeclarePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second declaration of the same name did not panic")
+		}
+	}()
+	r.Counter("x", "")
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBuckets(0, 2, 3) },
+		func() { ExponentialBuckets(1, 1, 3) },
+		func() { ExponentialBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid bucket spec did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestRegistryConcurrency exercises the shared-mutex instruments under the
+// race detector.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2})
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 100 {
+				c.Add(1)
+				g.Set(float64(i))
+				h.Observe(float64(i % 3))
+				_ = r.Render()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Errorf("counter = %v, want 800", c.Value())
+	}
+	if h.Count() != 800 {
+		t.Errorf("histogram count = %d, want 800", h.Count())
+	}
+}

@@ -1,0 +1,228 @@
+// Package obs is the observability layer of the PacTrain reproduction: a
+// structured span model for simulated training runs, a Chrome trace-event
+// JSON exporter (one pid per rank, one tid per DDP bucket) that opens
+// directly in Perfetto, a validator for the exported format, and a terminal
+// span-summary table.
+//
+// The package is deliberately generic: it knows about ranks, buckets,
+// iterations, and simulated seconds, but nothing about configs, fabrics, or
+// collectives. The experiment harness converts its recorded CommLogs and
+// simclock timelines into spans (internal/harness/trace.go); that keeps obs
+// dependency-free and the tracing path strictly observation-only — a nil
+// *Tracer disables everything at zero cost.
+//
+// Determinism: spans are derived from recorded results, not live callbacks,
+// so the exported JSON is byte-identical across runs and parallelism
+// budgets (see DESIGN.md §11). Build emits events in insertion order and
+// encodes args maps through encoding/json's sorted-key map marshaling.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Span categories.
+const (
+	CatCompute    = "compute"
+	CatBarrier    = "barrier"
+	CatCollective = "collective"
+	CatDecision   = "decision"
+	CatMark       = "mark"
+)
+
+// Tracer accumulates per-run span sets plus tracer-level marks (recost
+// events, cache notes). A nil Tracer is valid and ignores everything, so
+// call sites need no conditionals.
+type Tracer struct {
+	mu    sync.Mutex
+	runs  []*RunTrace
+	seen  map[string]bool
+	marks []mark
+}
+
+type mark struct {
+	name string
+	args map[string]any
+}
+
+// NewTracer builds an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{seen: make(map[string]bool)}
+}
+
+// Enabled reports whether tracing is on (the tracer is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartRun opens a span set for one training run. The dedupKey (normally
+// the config fingerprint) collapses the same run traced by several
+// experiments onto its first appearance: StartRun returns nil for a
+// repeat, and every RunTrace method is nil-safe, so callers replay
+// unconditionally. world is the rank count; buckets the per-bucket element
+// counts (CommLog.BucketElems), which fix the tid layout.
+func (t *Tracer) StartRun(label, dedupKey string, world int, buckets []int) *RunTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if dedupKey == "" {
+		dedupKey = label
+	}
+	if t.seen[dedupKey] {
+		return nil
+	}
+	t.seen[dedupKey] = true
+	r := &RunTrace{label: label, world: world, buckets: buckets}
+	t.runs = append(t.runs, r)
+	return r
+}
+
+// AddMark records a tracer-level instant (a recost, a cache note) on the
+// harness pseudo-process. Marks are ordered by insertion; their timestamps
+// are sequence numbers, not simulated time.
+func (t *Tracer) AddMark(name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.marks = append(t.marks, mark{name: name, args: args})
+}
+
+// Runs returns the number of span sets opened so far.
+func (t *Tracer) Runs() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.runs)
+}
+
+// RunTrace is one training run's span set. Emission translates simulated
+// seconds to trace microseconds; tid 0 is the rank's compute stream, tid
+// b+1 its bucket-b communication stream. All methods are nil-safe.
+type RunTrace struct {
+	label   string
+	world   int
+	buckets []int
+	events  []traceEvent
+}
+
+const usPerSec = 1e6
+
+func tidForBucket(bucket int) int { return bucket + 1 }
+
+// Compute records one iteration's forward and backward spans on a rank's
+// compute stream.
+func (r *RunTrace) Compute(rank, iter int, start, fwd, bwd float64) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events,
+		traceEvent{Name: "forward", Cat: CatCompute, Ph: phSpan,
+			Ts: start * usPerSec, Dur: fwd * usPerSec, Pid: rank, Tid: 0,
+			Args: map[string]any{"iter": iter}},
+		traceEvent{Name: "backward", Cat: CatCompute, Ph: phSpan,
+			Ts: (start + fwd) * usPerSec, Dur: bwd * usPerSec, Pid: rank, Tid: 0,
+			Args: map[string]any{"iter": iter}},
+	)
+}
+
+// BarrierWait records the interval a rank spends blocked at a bucket's
+// gradient-ready barrier: from the moment its own gradient is ready (and
+// the communication stream free) until the collective launches. Zero and
+// negative waits are skipped — on a homogeneous cluster every rank arrives
+// together and the trace stays compact; under stragglers the fast ranks'
+// waits are exactly the exposure the grid measures.
+func (r *RunTrace) BarrierWait(rank, bucket, iter int, from, until float64) {
+	if r == nil || until-from <= 0 {
+		return
+	}
+	r.events = append(r.events, traceEvent{
+		Name: "wait", Cat: CatBarrier, Ph: phSpan,
+		Ts: from * usPerSec, Dur: (until - from) * usPerSec,
+		Pid: rank, Tid: tidForBucket(bucket),
+		Args: map[string]any{"iter": iter},
+	})
+}
+
+// Collective records one bucket collective's launch-to-finish span on a
+// rank's bucket stream. name is the operation ("all-reduce", "all-gather",
+// ...); args carries wire format, element counts, and — for adaptive runs —
+// the priced candidate quotes.
+func (r *RunTrace) Collective(rank, bucket, iter int, name string, start, end float64, args map[string]any) {
+	if r == nil {
+		return
+	}
+	full := map[string]any{"iter": iter}
+	for k, v := range args {
+		full[k] = v
+	}
+	r.events = append(r.events, traceEvent{
+		Name: name, Cat: CatCollective, Ph: phSpan,
+		Ts: start * usPerSec, Dur: (end - start) * usPerSec,
+		Pid: rank, Tid: tidForBucket(bucket),
+		Args: full,
+	})
+}
+
+// Decision records the wire-format decision taken for a bucket's round as
+// an instant at launch time. format is the chosen wire format; args may
+// carry the adaptive controller's candidate quotes.
+func (r *RunTrace) Decision(rank, bucket, iter int, at float64, format string, args map[string]any) {
+	if r == nil {
+		return
+	}
+	full := map[string]any{"iter": iter, "format": format}
+	for k, v := range args {
+		full[k] = v
+	}
+	r.events = append(r.events, traceEvent{
+		Name: format, Cat: CatDecision, Ph: phInstant, Scope: scopeThread,
+		Ts: at * usPerSec, Pid: rank, Tid: tidForBucket(bucket),
+		Args: full,
+	})
+}
+
+// Build assembles the Chrome trace-event document: pid 0 is the harness
+// pseudo-process carrying the tracer-level marks, and each run's ranks
+// occupy a contiguous pid block after it, with process/thread metadata
+// naming every rank and stream.
+func (t *Tracer) Build() *Trace {
+	tr := &Trace{}
+	if t == nil {
+		return tr
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	tr.add(traceEvent{Name: "process_name", Ph: phMeta, Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "harness"}})
+	for i, m := range t.marks {
+		tr.add(traceEvent{Name: m.name, Cat: CatMark, Ph: phInstant, Scope: scopeProcess,
+			Ts: float64(i), Pid: 0, Tid: 0, Args: m.args})
+	}
+
+	base := 1
+	for _, run := range t.runs {
+		for rank := 0; rank < run.world; rank++ {
+			pid := base + rank
+			tr.add(traceEvent{Name: "process_name", Ph: phMeta, Pid: pid, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("%s rank %d", run.label, rank)}})
+			tr.add(traceEvent{Name: "thread_name", Ph: phMeta, Pid: pid, Tid: 0,
+				Args: map[string]any{"name": "compute"}})
+			for b, elems := range run.buckets {
+				tr.add(traceEvent{Name: "thread_name", Ph: phMeta, Pid: pid, Tid: tidForBucket(b),
+					Args: map[string]any{"name": fmt.Sprintf("bucket %d (%d elems)", b, elems)}})
+			}
+		}
+		for _, ev := range run.events {
+			ev.Pid += base
+			tr.add(ev)
+		}
+		base += run.world
+	}
+	return tr
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSample emits a small two-rank, two-bucket run with every span kind.
+func buildSample() *Tracer {
+	t := NewTracer()
+	r := t.StartRun("demo MLP/all-reduce", "fp-1", 2, []int{100, 50})
+	for iter := range 2 {
+		base := float64(iter) * 10
+		for rank := range 2 {
+			r.Compute(rank, iter, base, 1, 2)
+		}
+		for rank := range 2 {
+			r.BarrierWait(rank, 0, iter, base+2, base+3)
+			r.Collective(rank, 0, iter, "all-reduce", base+3, base+4,
+				map[string]any{"elems": 100, "wire": "fp32"})
+			r.Decision(rank, 0, iter, base+3, "dense-fp32", nil)
+			r.Collective(rank, 1, iter, "all-reduce", base+4, base+5, nil)
+		}
+	}
+	t.AddMark("recost", map[string]any{"experiment": "demo"})
+	return t
+}
+
+func TestBuildDeterministicAndValid(t *testing.T) {
+	a, err := buildSample().Build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildSample().Build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical span sets produced different JSON")
+	}
+	if err := Validate(a); err != nil {
+		t.Fatalf("built trace fails validation: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// pid 0 is the harness; ranks occupy pids 1 and 2. Every category and
+	// the metadata names must be present.
+	want := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		want[ev.Ph+"/"+ev.Cat] = true
+		if ev.Ph == "X" && (ev.Pid < 1 || ev.Pid > 2) {
+			t.Errorf("span %q on unexpected pid %d", ev.Name, ev.Pid)
+		}
+	}
+	for _, key := range []string{"X/compute", "X/barrier", "X/collective", "i/decision", "i/mark", "M/"} {
+		if !want[key] {
+			t.Errorf("trace missing %s events", key)
+		}
+	}
+	// Seconds → microseconds: the first compute span of iteration 1 starts
+	// at sim t=10s = 1e7 µs.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "forward" && ev.Ts == 1e7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no forward span at ts 1e7 µs (sim 10 s)")
+	}
+}
+
+func TestStartRunDedupsByKey(t *testing.T) {
+	tr := NewTracer()
+	if tr.StartRun("a", "k", 1, nil) == nil {
+		t.Fatal("first StartRun returned nil")
+	}
+	if tr.StartRun("b", "k", 1, nil) != nil {
+		t.Fatal("repeated dedup key was not collapsed")
+	}
+	if tr.Runs() != 1 {
+		t.Fatalf("runs = %d, want 1", tr.Runs())
+	}
+	// An empty dedup key falls back to the label.
+	if tr.StartRun("a", "", 1, nil) == nil {
+		t.Fatal("distinct label with empty key was deduped against fingerprints")
+	}
+	if tr.StartRun("a", "", 1, nil) != nil {
+		t.Fatal("repeated label with empty key was not collapsed")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	r := tr.StartRun("x", "x", 4, []int{1})
+	// All emission must be a no-op on the nil RunTrace.
+	r.Compute(0, 0, 0, 1, 1)
+	r.BarrierWait(0, 0, 0, 0, 1)
+	r.Collective(0, 0, 0, "all-reduce", 0, 1, nil)
+	r.Decision(0, 0, 0, 0, "dense-fp32", nil)
+	tr.AddMark("recost", nil)
+	if tr.Runs() != 0 {
+		t.Fatal("nil tracer accumulated runs")
+	}
+	if !strings.Contains(tr.Summary(), "disabled") {
+		t.Fatalf("nil summary = %q", tr.Summary())
+	}
+}
+
+func TestZeroWaitsAreSkipped(t *testing.T) {
+	tr := NewTracer()
+	r := tr.StartRun("x", "x", 1, []int{1})
+	r.BarrierWait(0, 0, 0, 5, 5) // zero wait
+	r.BarrierWait(0, 0, 0, 5, 4) // negative wait
+	r.BarrierWait(0, 0, 0, 5, 5.5)
+	if n := len(r.events); n != 1 {
+		t.Fatalf("events = %d, want only the positive wait", n)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"no events":     `{"traceEvents":[]}`,
+		"unnamed":       `{"traceEvents":[{"ph":"X","ts":0,"pid":1,"tid":1}]}`,
+		"negative dur":  `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1}]}`,
+		"negative pid":  `{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":-1,"tid":1}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"a","ph":"Q","ts":0,"pid":1,"tid":1}]}`,
+		"time reversal": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":1},
+			{"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":1}]}`,
+	}
+	for name, raw := range cases {
+		if Validate([]byte(raw)) == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+	// Reversals on distinct tracks are fine.
+	ok := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":1},
+		{"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":2},
+		{"name":"m","ph":"M","pid":1,"tid":1,"ts":0},
+		{"name":"i","ph":"i","ts":0,"pid":1,"tid":1}]}`
+	if err := Validate([]byte(ok)); err != nil {
+		t.Errorf("multi-track trace rejected: %v", err)
+	}
+}
+
+func TestWriteFileAndValidateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := buildSample().Build().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFile(path); err != nil {
+		t.Fatalf("written trace fails validation: %v", err)
+	}
+	if err := ValidateFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file validated")
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	got := buildSample().Summary()
+	for _, want := range []string{"demo MLP/all-reduce", "compute", "barrier", "collective", "decision", "mark"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	// 2 iters × 2 ranks × 2 spans = 8 compute spans.
+	if !strings.Contains(got, "8") {
+		t.Errorf("summary missing compute span count:\n%s", got)
+	}
+}

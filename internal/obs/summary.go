@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+
+	"pactrain/internal/metrics"
+)
+
+// spanAgg aggregates one (run, category) cell of the summary.
+type spanAgg struct {
+	count int
+	total float64 // microseconds
+	max   float64
+}
+
+// summaryCategories fixes the row order within a run.
+var summaryCategories = []string{CatCompute, CatBarrier, CatCollective, CatDecision}
+
+// Summary renders the per-run span totals as a terminal table — the
+// `-trace-summary` view for when a browser is out of reach. Durations are
+// simulated time summed across all ranks, so a span category's total can
+// exceed the run's makespan by up to a factor of the world size.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "(tracing disabled)\n"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	tbl := metrics.NewTable("span summary (durations are simulated time, summed across ranks)",
+		"run", "category", "spans", "total", "mean", "max")
+	for _, run := range t.runs {
+		aggs := make(map[string]*spanAgg)
+		for _, ev := range run.events {
+			if ev.Ph != phSpan && ev.Cat != CatDecision {
+				continue
+			}
+			a := aggs[ev.Cat]
+			if a == nil {
+				a = &spanAgg{}
+				aggs[ev.Cat] = a
+			}
+			a.count++
+			a.total += ev.Dur
+			if ev.Dur > a.max {
+				a.max = ev.Dur
+			}
+		}
+		label := run.label
+		for _, cat := range summaryCategories {
+			a := aggs[cat]
+			if a == nil {
+				continue
+			}
+			if cat == CatDecision {
+				tbl.AddRow(label, cat, fmt.Sprintf("%d", a.count), "-", "-", "-")
+			} else {
+				tbl.AddRow(label, cat, fmt.Sprintf("%d", a.count),
+					metrics.FormatSeconds(a.total/usPerSec),
+					metrics.FormatSeconds(a.total/usPerSec/float64(a.count)),
+					metrics.FormatSeconds(a.max/usPerSec))
+			}
+			label = "" // repeat the run label only on its first row
+		}
+	}
+	if len(t.marks) > 0 {
+		tbl.AddRow("(harness)", CatMark, fmt.Sprintf("%d", len(t.marks)), "-", "-", "-")
+	}
+	return tbl.String()
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Validate checks that raw is a well-formed Chrome trace-event document the
+// exporter could have produced: a JSON object with a non-empty traceEvents
+// array, every event carrying a name, a known phase, and non-negative
+// pid/tid, duration events with non-negative durations, and — the property
+// Perfetto's track builder relies on — per-(pid,tid) monotone non-decreasing
+// timestamps for duration events in array order. CI's smoke lane runs this
+// over a freshly generated quick-grid trace.
+func Validate(raw []byte) error {
+	var doc traceFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("trace: not a JSON trace document: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no traceEvents")
+	}
+	type track struct{ pid, tid int }
+	last := make(map[track]float64)
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		if ev.Pid < 0 || ev.Tid < 0 {
+			return fmt.Errorf("trace: event %d (%q) has negative pid/tid %d/%d", i, ev.Name, ev.Pid, ev.Tid)
+		}
+		switch ev.Ph {
+		case phSpan:
+			if ev.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%q) has negative duration %g", i, ev.Name, ev.Dur)
+			}
+			key := track{ev.Pid, ev.Tid}
+			if prev, ok := last[key]; ok && ev.Ts < prev {
+				return fmt.Errorf("trace: event %d (%q) goes backwards on pid %d tid %d: ts %g after %g",
+					i, ev.Name, ev.Pid, ev.Tid, ev.Ts, prev)
+			}
+			last[track{ev.Pid, ev.Tid}] = ev.Ts
+		case phInstant, phMeta:
+			// No ordering constraint.
+		default:
+			return fmt.Errorf("trace: event %d (%q) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return nil
+}
+
+// ValidateFile runs Validate over a file on disk.
+func ValidateFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return Validate(raw)
+}

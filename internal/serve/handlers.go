@@ -19,6 +19,7 @@ import (
 //	GET  /v1/jobs             list jobs in submission order
 //	GET  /v1/jobs/{id}        job status + per-job engine progress
 //	GET  /v1/jobs/{id}/result finished report bytes (CLI -json compatible)
+//	GET  /v1/jobs/{id}/events live SSE stream (Last-Event-ID replay)
 //	GET  /v1/stats            engine counters, job tallies, recent events
 //	GET  /healthz             liveness (503 while draining)
 //	GET  /metrics             Prometheus text exposition
@@ -31,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -158,18 +160,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	// Refresh the derived metrics from live state; event-driven tallies
-	// (sim-seconds, coalesced, done/failed) are maintained as they happen.
-	st := s.Stats()
-	c := s.counters
-	c.Set("pactrain_serve_jobs_queued", float64(st.Jobs.Queued))
-	c.Set("pactrain_serve_jobs_running", float64(st.Jobs.Running))
-	c.Set("pactrain_engine_jobs_submitted_total", float64(st.Engine.Submitted))
-	c.Set("pactrain_engine_trainings_total", float64(st.Engine.Trained))
-	c.Set("pactrain_engine_deduped_total", float64(st.Engine.Deduped))
-	c.Set("pactrain_engine_cache_hits_total", float64(st.Engine.CacheHits))
-	c.Set("pactrain_serve_sim_seconds_served_total", st.SimSecondsServed)
-	c.Set("pactrain_serve_cache_swept_total", float64(s.sweep.Swept))
+	// Stats() refreshes every scalar instrument from the same locked
+	// snapshot /v1/stats serves, so the two endpoints cannot disagree; the
+	// histograms observed at event time and render as-is.
+	s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(c.Render()))
+	_, _ = w.Write([]byte(s.met.reg.Render()))
 }

@@ -66,6 +66,18 @@ type job struct {
 	coalesced int // extra submissions folded onto this job
 	progress  Progress
 
+	// events is the bounded replay ring behind GET /v1/jobs/{id}/events;
+	// eventSeq numbers this job's events from 1 and keeps counting past
+	// ring eviction, so Last-Event-ID replay is exact whenever the
+	// requested suffix is still buffered. subs holds the live stream
+	// channels; simSeconds accumulates the simulated seconds of every grid
+	// cell the engine delivered to this job (observed into the job_sim
+	// histogram at completion).
+	events     []eventRecord
+	eventSeq   int
+	subs       map[chan eventRecord]struct{}
+	simSeconds float64
+
 	created  time.Time
 	started  time.Time
 	finished time.Time

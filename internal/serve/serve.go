@@ -12,6 +12,9 @@
 //     from the engine's event stream, not log scraping); GET
 //     /v1/jobs/{id}/result returns the report bytes, identical to
 //     `pactrain-bench -exp <id> -json` output for the same options.
+//   - GET /v1/jobs/{id}/events streams the job's lifecycle transitions,
+//     engine events, and trainer heartbeats as Server-Sent Events, with
+//     exact Last-Event-ID replay from a bounded per-job ring.
 //   - GET /healthz, GET /v1/stats, and GET /metrics expose liveness, the
 //     engine counters, and a Prometheus-style text exposition.
 //
@@ -77,16 +80,21 @@ type Options struct {
 	HistoryLimit int
 	// Log receives engine and service progress lines; nil discards them.
 	Log io.Writer
+	// LogFormat selects the log shape: "" or "text" keeps the human
+	// progress lines; "json" writes one JSON object per observable event
+	// (the same EventPayload the SSE stream sends) and silences the
+	// free-form engine lines.
+	LogFormat string
 }
 
 // Server owns the shared engine and the async job queue. Construct with
 // New, expose Handler over HTTP, and stop with Shutdown.
 type Server struct {
-	opt      Options
-	engine   *engine.Engine
-	counters *metrics.CounterSet
-	sweep    engine.SweepResult
-	start    time.Time
+	opt    Options
+	engine *engine.Engine
+	met    *serveMetrics
+	sweep  engine.SweepResult
+	start  time.Time
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -98,6 +106,9 @@ type Server struct {
 	draining  bool
 	recent    []engine.Event
 	simServed float64
+	// Lifetime totals: unlike the per-state tallies over s.jobs, these
+	// survive history eviction, so /v1/stats and /metrics agree forever.
+	doneTotal, failedTotal, coalescedTotal int
 
 	wg sync.WaitGroup
 }
@@ -139,19 +150,24 @@ func New(opt Options) (*Server, error) {
 
 	s := &Server{
 		opt:      opt,
-		counters: metrics.NewCounterSet(),
+		met:      newServeMetrics(),
 		start:    time.Now(),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		running:  make(map[string]*job),
 		queue:    make(chan *job, opt.QueueDepth),
 	}
-	s.declareMetrics()
+	engineLog := opt.Log
+	if opt.LogFormat == "json" {
+		// Structured mode: every observable step is a JSON event line; the
+		// engine's free-form progress lines would interleave garbage.
+		engineLog = io.Discard
+	}
 	s.engine = engine.New(engine.Options{
 		Parallelism: opt.Parallelism,
 		CacheDir:    opt.CacheDir,
 		MemoLimit:   opt.MemoLimit,
-		Log:         opt.Log,
+		Log:         engineLog,
 		OnEvent:     s.onEngineEvent,
 	})
 
@@ -178,20 +194,56 @@ func New(opt Options) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) declareMetrics() {
-	c := s.counters
-	c.DeclareGauge("pactrain_serve_jobs_queued", "jobs accepted and waiting for a worker")
-	c.DeclareGauge("pactrain_serve_jobs_running", "jobs currently executing")
-	c.Declare("pactrain_serve_jobs_done_total", "jobs completed successfully")
-	c.Declare("pactrain_serve_jobs_failed_total", "jobs that ended in error")
-	c.Declare("pactrain_serve_jobs_coalesced_total", "submissions folded onto an identical in-flight job")
-	c.Declare("pactrain_engine_jobs_submitted_total", "grid cells submitted to the engine")
-	c.Declare("pactrain_engine_trainings_total", "trainings the engine actually executed")
-	c.Declare("pactrain_engine_deduped_total", "grid cells satisfied by an identical in-process job")
-	c.Declare("pactrain_engine_cache_hits_total", "grid cells satisfied from the on-disk cache")
-	c.Declare("pactrain_serve_sim_seconds_served_total", "simulated training seconds delivered to clients")
-	c.Declare("pactrain_serve_cache_swept_total", "stale or corrupt cache entries removed at startup")
-	c.DeclareGauge("pactrain_serve_draining", "1 while graceful shutdown is in progress")
+// serveMetrics holds the server's typed instrument handles on one
+// metrics.Registry. Every scalar is written by refreshDerived from the same
+// locked state /v1/stats reads, so the two endpoints can never disagree;
+// the histograms observe at event time (completions, cache hits).
+type serveMetrics struct {
+	reg *metrics.Registry
+
+	jobsQueued      *metrics.Counter
+	jobsRunning     *metrics.Counter
+	jobsDone        *metrics.Counter
+	jobsFailed      *metrics.Counter
+	jobsCoalesced   *metrics.Counter
+	engineSubmitted *metrics.Counter
+	engineTrained   *metrics.Counter
+	engineDeduped   *metrics.Counter
+	engineCacheHits *metrics.Counter
+	simServed       *metrics.Counter
+	cacheSwept      *metrics.Counter
+	draining        *metrics.Counter
+	queueDepth      *metrics.Counter
+
+	jobWall     *metrics.Histogram
+	jobSim      *metrics.Histogram
+	cacheHitAge *metrics.Histogram
+}
+
+func newServeMetrics() *serveMetrics {
+	reg := metrics.NewRegistry()
+	return &serveMetrics{
+		reg:             reg,
+		jobsQueued:      reg.Gauge("pactrain_serve_jobs_queued", "jobs accepted and waiting for a worker"),
+		jobsRunning:     reg.Gauge("pactrain_serve_jobs_running", "jobs currently executing"),
+		jobsDone:        reg.Counter("pactrain_serve_jobs_done_total", "jobs completed successfully"),
+		jobsFailed:      reg.Counter("pactrain_serve_jobs_failed_total", "jobs that ended in error"),
+		jobsCoalesced:   reg.Counter("pactrain_serve_jobs_coalesced_total", "submissions folded onto an identical in-flight job"),
+		engineSubmitted: reg.Counter("pactrain_engine_jobs_submitted_total", "grid cells submitted to the engine"),
+		engineTrained:   reg.Counter("pactrain_engine_trainings_total", "trainings the engine actually executed"),
+		engineDeduped:   reg.Counter("pactrain_engine_deduped_total", "grid cells satisfied by an identical in-process job"),
+		engineCacheHits: reg.Counter("pactrain_engine_cache_hits_total", "grid cells satisfied from the on-disk cache"),
+		simServed:       reg.Counter("pactrain_serve_sim_seconds_served_total", "simulated training seconds delivered to clients"),
+		cacheSwept:      reg.Counter("pactrain_serve_cache_swept_total", "stale or corrupt cache entries removed at startup"),
+		draining:        reg.Gauge("pactrain_serve_draining", "1 while graceful shutdown is in progress"),
+		queueDepth:      reg.Gauge("pactrain_serve_queue_depth", "submissions sitting in the accept queue"),
+		jobWall: reg.Histogram("pactrain_serve_job_wall_seconds", "wall-clock duration of completed jobs",
+			metrics.ExponentialBuckets(0.1, 2, 12)),
+		jobSim: reg.Histogram("pactrain_serve_job_sim_seconds", "simulated training seconds attributed to completed jobs",
+			metrics.ExponentialBuckets(1, 4, 10)),
+		cacheHitAge: reg.Histogram("pactrain_engine_cache_hit_age_seconds", "age of on-disk cache entries when served",
+			metrics.ExponentialBuckets(1, 4, 10)),
+	}
 }
 
 // Submit validates, coalesces, and enqueues a request. The bool reports
@@ -227,7 +279,7 @@ func (s *Server) Submit(req SubmitRequest) (JobView, bool, error) {
 	}
 	if j, ok := s.inflight[key]; ok {
 		j.coalesced++
-		s.counters.Add("pactrain_serve_jobs_coalesced_total", 1)
+		s.coalescedTotal++
 		return j.view(), true, nil
 	}
 	s.seq++
@@ -247,6 +299,7 @@ func (s *Server) Submit(req SubmitRequest) (JobView, bool, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.inflight[key] = j
+	s.publishLocked(j, EventPayload{Type: "state", State: JobQueued})
 	return j.view(), false, nil
 }
 
@@ -256,12 +309,18 @@ func (s *Server) run(j *job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	s.running[j.id] = j
+	s.publishLocked(j, EventPayload{Type: "state", State: JobRunning})
 	s.mu.Unlock()
 	s.logf("serve: job %s running (%s)", j.id, j.key)
 
 	opts := j.opts
 	opts.Engine = s.engine
 	opts.Log = s.opt.Log
+	if s.opt.LogFormat == "json" {
+		// The harness narrates experiments in prose; structured mode keeps
+		// the log pure event objects.
+		opts.Log = io.Discard
+	}
 	opts.Parallelism = s.opt.Parallelism
 	rep, err := j.def.Run(opts)
 	var raw []byte
@@ -274,14 +333,22 @@ func (s *Server) run(j *job) {
 	if err != nil {
 		j.state = JobFailed
 		j.errMsg = err.Error()
-		s.counters.Add("pactrain_serve_jobs_failed_total", 1)
+		s.failedTotal++
 	} else {
 		j.state = JobDone
 		// Match the CLI byte-for-byte: pactrain-bench prints the report
 		// followed by one newline.
 		j.resultJSON = append(raw, '\n')
-		s.counters.Add("pactrain_serve_jobs_done_total", 1)
+		s.doneTotal++
 	}
+	s.met.jobWall.Observe(j.finished.Sub(j.started).Seconds())
+	s.met.jobSim.Observe(j.simSeconds)
+	s.publishLocked(j, EventPayload{Type: "state", State: j.state, Error: j.errMsg})
+	// Terminal: end every live stream; late subscribers get pure replay.
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
 	}
@@ -312,16 +379,24 @@ func (s *Server) evictHistory() {
 }
 
 // onEngineEvent is the engine's observer: it feeds the per-job progress
-// counters, the sim-seconds tally, and the recent-event ring. It is called
-// from scheduling goroutines concurrently, never with s.mu held.
+// counters, the sim-seconds tally, the recent-event ring, the event-time
+// histograms, and every matching job's SSE stream. It is called from
+// scheduling goroutines concurrently, never with s.mu held.
 func (s *Server) onEngineEvent(ev engine.Event) {
 	expID, _, _ := strings.Cut(ev.Label, " ")
 	delivered := ev.Err == ""
+	if ev.Kind == engine.EventCacheHit && ev.CacheAgeSeconds > 0 {
+		s.met.cacheHitAge.Observe(ev.CacheAgeSeconds)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.recent = append(s.recent, ev)
-	if len(s.recent) > recentEvents {
-		s.recent = s.recent[len(s.recent)-recentEvents:]
+	if ev.Kind != engine.EventProgress {
+		// Heartbeats would flood the 32-slot /v1/stats ring inside one
+		// training; they live on the per-job SSE streams instead.
+		s.recent = append(s.recent, ev)
+		if len(s.recent) > recentEvents {
+			s.recent = s.recent[len(s.recent)-recentEvents:]
+		}
 	}
 	if delivered {
 		switch ev.Kind {
@@ -329,10 +404,21 @@ func (s *Server) onEngineEvent(ev engine.Event) {
 			s.simServed += ev.SimSeconds
 		}
 	}
+	payload := EventPayload{
+		Type:            ev.Kind.String(),
+		Label:           ev.Label,
+		Fingerprint:     ev.Fingerprint,
+		SimSeconds:      ev.SimSeconds,
+		CacheAgeSeconds: ev.CacheAgeSeconds,
+		Error:           ev.Err,
+		Progress:        ev.Progress,
+	}
+	claimed := false
 	for _, j := range s.running {
 		if j.def.ID != expID {
 			continue
 		}
+		claimed = true
 		switch ev.Kind {
 		case engine.EventSubmitted:
 			j.progress.Submitted++
@@ -345,7 +431,17 @@ func (s *Server) onEngineEvent(ev engine.Event) {
 				j.progress.Trained++
 			}
 		}
+		if delivered {
+			switch ev.Kind {
+			case engine.EventDeduped, engine.EventCacheHit, engine.EventTrainDone:
+				j.simSeconds += ev.SimSeconds
+			}
+		}
 		j.progress.LastEvent = fmt.Sprintf("%s %s", ev.Kind, ev.Label)
+		s.publishLocked(j, payload)
+	}
+	if !claimed {
+		s.logEventLocked(payload)
 	}
 }
 
@@ -399,7 +495,9 @@ type StatsView struct {
 	RecentEvents []EventView `json:"recent_events"`
 }
 
-// JobCounts tallies jobs by lifecycle state.
+// JobCounts tallies jobs by lifecycle state. Queued and Running count live
+// records; Done, Failed, and Coalesced are lifetime totals that survive
+// history eviction, so the numbers never shrink as old jobs age out.
 type JobCounts struct {
 	Queued    int `json:"queued"`
 	Running   int `json:"running"`
@@ -435,13 +533,11 @@ func (s *Server) Stats() StatsView {
 			v.Jobs.Queued++
 		case JobRunning:
 			v.Jobs.Running++
-		case JobDone:
-			v.Jobs.Done++
-		case JobFailed:
-			v.Jobs.Failed++
 		}
-		v.Jobs.Coalesced += j.coalesced
 	}
+	v.Jobs.Done = s.doneTotal
+	v.Jobs.Failed = s.failedTotal
+	v.Jobs.Coalesced = s.coalescedTotal
 	v.RecentEvents = make([]EventView, len(s.recent))
 	for i, ev := range s.recent {
 		v.RecentEvents[i] = EventView{
@@ -452,7 +548,34 @@ func (s *Server) Stats() StatsView {
 			Err:         ev.Err,
 		}
 	}
+	s.refreshDerivedLocked(v)
 	return v
+}
+
+// refreshDerivedLocked writes every scalar instrument from the snapshot
+// both /v1/stats and /metrics serve — one source of truth, so the JSON and
+// Prometheus views of the same server state can never diverge. The
+// histograms are not touched here; they observe at event time. Callers
+// hold s.mu.
+func (s *Server) refreshDerivedLocked(v StatsView) {
+	m := s.met
+	m.jobsQueued.Set(float64(v.Jobs.Queued))
+	m.jobsRunning.Set(float64(v.Jobs.Running))
+	m.jobsDone.Set(float64(v.Jobs.Done))
+	m.jobsFailed.Set(float64(v.Jobs.Failed))
+	m.jobsCoalesced.Set(float64(v.Jobs.Coalesced))
+	m.engineSubmitted.Set(float64(v.Engine.Submitted))
+	m.engineTrained.Set(float64(v.Engine.Trained))
+	m.engineDeduped.Set(float64(v.Engine.Deduped))
+	m.engineCacheHits.Set(float64(v.Engine.CacheHits))
+	m.simServed.Set(v.SimSecondsServed)
+	m.cacheSwept.Set(float64(s.sweep.Swept))
+	m.queueDepth.Set(float64(len(s.queue)))
+	if v.Draining {
+		m.draining.Set(1)
+	} else {
+		m.draining.Set(0)
+	}
 }
 
 // Draining reports whether graceful shutdown has begun.
@@ -471,7 +594,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
-		s.counters.Set("pactrain_serve_draining", 1)
+		s.met.draining.Set(1)
 	}
 	s.mu.Unlock()
 	s.logf("serve: draining (finishing accepted jobs)")
@@ -491,5 +614,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) logf(format string, args ...any) {
+	if s.opt.LogFormat == "json" {
+		// Structured mode: lifecycle is already on the event log as JSON
+		// objects; free-form lines would break one-object-per-line.
+		return
+	}
 	fmt.Fprintf(s.opt.Log, format+"\n", args...)
 }

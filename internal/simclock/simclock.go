@@ -171,6 +171,22 @@ func (s IterSchedule) ReadyAt(i int) float64 {
 	return s.Start + s.Fwd + s.Bwd*s.prefix[i]
 }
 
+// WaitInterval returns the interval this rank spends blocked before a
+// bucket's collective launches: from the moment the rank could contribute —
+// its gradient ready, the communication stream free (streamFree is the
+// previous collective's end on the shared in-order stream) — until the
+// launch barrier releases. A non-positive duration means the rank did not
+// wait (it was itself the barrier holder, or arrived exactly on time).
+// Observation-only: the trace exporter draws these spans; no cost path
+// consumes them.
+func (s IterSchedule) WaitInterval(bucket int, streamFree, launch float64) (from, dur float64) {
+	from = s.ReadyAt(bucket)
+	if streamFree > from {
+		from = streamFree
+	}
+	return from, launch - from
+}
+
 // Finish returns the rank's end-of-iteration clock: the later of its
 // compute floor and the last collective's completion. This is the floor
 // logic the trainer used to inline — communication may hide under backward,

@@ -117,3 +117,30 @@ func TestTimelineLaunchBarrier(t *testing.T) {
 		t.Fatalf("World = %d, want 3", tl.World())
 	}
 }
+
+func TestWaitInterval(t *testing.T) {
+	t.Parallel()
+	// Overlap schedule: forward 2s, backward 4s, bucket 0 ready halfway
+	// through backward (prefix 0.5) at t=4, bucket 1 at t=6.
+	s := NewIterSchedule(0, 2, 4, []float64{0.5, 1})
+
+	// Idle stream, launch held by a slower rank at t=7: wait [4, 7).
+	from, dur := s.WaitInterval(0, 0, 7)
+	if from != 4 || dur != 3 {
+		t.Fatalf("WaitInterval = (%v, %v), want (4, 3)", from, dur)
+	}
+	// Busy stream: the wait cannot start before the stream frees at t=5.
+	from, dur = s.WaitInterval(0, 5, 7)
+	if from != 5 || dur != 2 {
+		t.Fatalf("WaitInterval(busy) = (%v, %v), want (5, 2)", from, dur)
+	}
+	// The barrier holder itself: launch equals its own ready time, no wait.
+	from, dur = s.WaitInterval(1, 0, 6)
+	if from != 6 || dur != 0 {
+		t.Fatalf("WaitInterval(holder) = (%v, %v), want (6, 0)", from, dur)
+	}
+	// A launch in the past (stream freed after the barrier) is negative.
+	if _, dur = s.WaitInterval(0, 8, 7); dur >= 0 {
+		t.Fatalf("WaitInterval(past launch) dur = %v, want negative", dur)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"pactrain/internal/harness/engine"
 	"pactrain/internal/netsim"
 	"pactrain/internal/nn"
+	"pactrain/internal/obs"
 	"pactrain/internal/prune"
 )
 
@@ -289,3 +290,33 @@ func LoadBench(path string) (*BenchReport, error) { return harness.LoadBench(pat
 func CompareBench(base, cur *BenchReport, tol float64) []string {
 	return harness.CompareBench(base, cur, tol)
 }
+
+// Tracer collects per-rank simulation spans — compute, barrier waits,
+// collectives, adaptive decisions — from recorded runs, for export as
+// Chrome trace-event JSON that Perfetto and chrome://tracing open directly.
+// Hang one on Options.Tracer (experiments) or call TraceRun (single runs);
+// tracing is observation-only and never perturbs reports or fingerprints.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// TraceRun derives the per-rank timeline of one recorded run (the config
+// must have RecordComm set, as DefaultConfig does) into the tracer.
+// Identical configs are traced once.
+func TraceRun(tr *Tracer, label string, cfg Config, res *Result) {
+	harness.TraceRun(tr, label, cfg, res)
+}
+
+// WriteTrace renders everything the tracer collected as a Chrome
+// trace-event JSON file.
+func WriteTrace(tr *Tracer, path string) error { return tr.Build().WriteFile(path) }
+
+// TraceSummary renders a human-readable per-span-kind aggregate of the
+// tracer's contents.
+func TraceSummary(tr *Tracer) string { return tr.Summary() }
+
+// ValidateTraceFile structurally checks a trace-event JSON file: parseable,
+// spans non-negative and metadata-consistent, instants well-scoped. CI runs
+// it on generated traces.
+func ValidateTraceFile(path string) error { return obs.ValidateFile(path) }
