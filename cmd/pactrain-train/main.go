@@ -17,11 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"pactrain"
 	"pactrain/internal/adaptive"
 	"pactrain/internal/metrics"
+	"pactrain/internal/par"
 	"pactrain/internal/prof"
 )
 
@@ -71,7 +73,11 @@ func main() {
 	traceSummary := flag.Bool("trace-summary", false, "print the per-span aggregate of the collected trace to stderr (requires -trace)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	kernelParallel := flag.Int("kernel-parallel", runtime.GOMAXPROCS(0),
+		"worker budget for the model-compute and compression kernels (results are bit-identical at any value)")
 	flag.Parse()
+
+	par.SetBudget(*kernelParallel)
 
 	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {

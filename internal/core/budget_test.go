@@ -7,15 +7,35 @@ import (
 )
 
 // TestTrainingBitExactAcrossKernelBudgets pins the PR's headline contract at
-// the system level: an entire training run — forward/backward, compression
-// kernels, collective pricing, accuracy curve — is byte-identical whether the
-// parallel kernels run on one worker or eight. Not mark-parallel: the kernel
-// budget is process-global.
+// the system level: an entire training run — forward/backward through every
+// layer kind (MLP, conv+batchnorm+pool, attention+layernorm), compression
+// kernels, collective pricing, accuracy curve — is byte-identical whether
+// the parallel kernels run on one worker or eight. Not mark-parallel: the
+// kernel budget is process-global.
 func TestTrainingBitExactAcrossKernelBudgets(t *testing.T) {
 	defer par.SetBudget(par.Budget())
-	for _, scheme := range []string{"pactrain-ternary", "topk-0.1"} {
-		cfg := tinyConfig(scheme)
+	cases := []struct {
+		model, scheme string
+		heavy         bool // skipped under -short, run in the full/race CI lanes
+	}{
+		{model: "", scheme: "pactrain-ternary"}, // tinyConfig default (MLP)
+		{model: "", scheme: "topk-0.1"},
+		{model: "VGG19", scheme: "pactrain-ternary", heavy: true},
+		{model: "ViT-Base-16", scheme: "pactrain-ternary", heavy: true},
+	}
+	for _, tc := range cases {
+		name := tc.model
+		if name == "" {
+			name = "MLP"
+		}
+		if tc.heavy && testing.Short() {
+			continue
+		}
+		cfg := tinyConfig(tc.scheme)
 		cfg.Epochs = 2
+		if tc.model != "" {
+			cfg.ModelName = tc.model
+		}
 
 		par.SetBudget(1)
 		scalar, err := Run(cfg)
@@ -29,26 +49,26 @@ func TestTrainingBitExactAcrossKernelBudgets(t *testing.T) {
 		}
 
 		if scalar.FinalAcc != parallel.FinalAcc || scalar.BestAcc != parallel.BestAcc {
-			t.Fatalf("%s: accuracy differs across budgets: %v/%v vs %v/%v",
-				scheme, scalar.FinalAcc, scalar.BestAcc, parallel.FinalAcc, parallel.BestAcc)
+			t.Fatalf("%s/%s: accuracy differs across budgets: %v/%v vs %v/%v",
+				name, tc.scheme, scalar.FinalAcc, scalar.BestAcc, parallel.FinalAcc, parallel.BestAcc)
 		}
 		if scalar.SimSeconds != parallel.SimSeconds {
-			t.Fatalf("%s: simulated time differs across budgets: %v vs %v",
-				scheme, scalar.SimSeconds, parallel.SimSeconds)
+			t.Fatalf("%s/%s: simulated time differs across budgets: %v vs %v",
+				name, tc.scheme, scalar.SimSeconds, parallel.SimSeconds)
 		}
 		if len(scalar.WeightChecksums) != len(parallel.WeightChecksums) {
-			t.Fatalf("%s: world size changed", scheme)
+			t.Fatalf("%s/%s: world size changed", name, tc.scheme)
 		}
 		for r := range scalar.WeightChecksums {
 			if scalar.WeightChecksums[r] != parallel.WeightChecksums[r] {
-				t.Fatalf("%s: rank %d weights differ across budgets: %v vs %v",
-					scheme, r, scalar.WeightChecksums[r], parallel.WeightChecksums[r])
+				t.Fatalf("%s/%s: rank %d weights differ across budgets: %v vs %v",
+					name, tc.scheme, r, scalar.WeightChecksums[r], parallel.WeightChecksums[r])
 			}
 		}
 		for i, p := range scalar.Curve.Points {
 			if p != parallel.Curve.Points[i] {
-				t.Fatalf("%s: curve point %d differs across budgets: %+v vs %+v",
-					scheme, i, p, parallel.Curve.Points[i])
+				t.Fatalf("%s/%s: curve point %d differs across budgets: %+v vs %+v",
+					name, tc.scheme, i, p, parallel.Curve.Points[i])
 			}
 		}
 	}

@@ -12,6 +12,8 @@ import (
 	"pactrain/internal/compress"
 	"pactrain/internal/ddp"
 	"pactrain/internal/netsim"
+	"pactrain/internal/nn"
+	"pactrain/internal/par"
 	"pactrain/internal/simclock"
 	"pactrain/internal/tensor"
 )
@@ -155,6 +157,111 @@ func encodeCases() []perfCase {
 	}
 }
 
+// withBudget wraps a benchmark body so it runs under an explicit kernel
+// budget and restores the previous budget afterwards. Entries pin their
+// budget rather than inherit the ambient one because both the experiment
+// engine (engine.go) and sibling entries mutate the process-global budget.
+func withBudget(budget int, fn func()) func() {
+	return func() {
+		prev := par.Budget()
+		par.SetBudget(budget)
+		defer par.SetBudget(prev)
+		fn()
+	}
+}
+
+// matmulCase times iters square C = A·B products through the blocked,
+// row-chunked MatMulInto kernel under the full kernel budget.
+func matmulCase(size, iters int) func() {
+	rng := tensor.NewRNG(13)
+	a := tensor.Randn(rng, 1, size, size)
+	b := tensor.Randn(rng, 1, size, size)
+	c := tensor.New(size, size)
+	return withBudget(runtime.GOMAXPROCS(0), func() {
+		for i := 0; i < iters; i++ {
+			tensor.MatMulInto(c, a, b)
+		}
+		benchSink += uint64(len(c.Data()))
+	})
+}
+
+// im2colConvCase times the convolution inner loop as Conv2D.Forward runs
+// it — Im2ColInto into a reused column buffer, then the patch × kernel
+// matmul — on a VGG-ish shape (batch 8, 16→32 channels, 32×32, 3×3 s1 p1).
+func im2colConvCase(iters int) func() {
+	const (
+		batch, inC, outC = 8, 16, 32
+		img, k           = 32, 3
+	)
+	rng := tensor.NewRNG(17)
+	x := tensor.Randn(rng, 1, batch, inC, img, img)
+	w := tensor.Randn(rng, 0.1, inC*k*k, outC)
+	out := tensor.ConvOutSize(img, k, 1, 1)
+	cols := tensor.New(batch*out*out, inC*k*k)
+	y := tensor.New(batch*out*out, outC)
+	return withBudget(runtime.GOMAXPROCS(0), func() {
+		for i := 0; i < iters; i++ {
+			tensor.Im2ColInto(cols, x, k, k, 1, 1)
+			tensor.MatMulInto(y, cols, w)
+		}
+		benchSink += uint64(len(y.Data()))
+	})
+}
+
+// trainStepCase times steps full optimizer steps (ZeroGrad, forward, loss,
+// backward, SGD) of a lite-twin model at the given kernel budget. The b1/bN
+// twin entries make the budget-scaling of the model-compute path visible in
+// the report: on a multi-core host the bN entry runs the same byte-identical
+// computation across cores, and on any host the pair pins the chunked
+// kernels' overhead at budget 1.
+func trainStepCase(build func() *nn.Model, steps, budget int) func() {
+	const batch = 8
+	m := build()
+	rng := tensor.NewRNG(29)
+	x := tensor.Randn(rng, 1, batch, 3, 16, 16)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	opt := nn.NewSGD(0.05, 0.9, 5e-4)
+	return withBudget(budget, func() {
+		for s := 0; s < steps; s++ {
+			m.ZeroGrad()
+			logits := m.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			m.Backward(grad)
+			opt.Step(m.Params())
+		}
+		benchSink += uint64(len(m.Params()))
+	})
+}
+
+// modelComputeCases pins the model-compute kernel path: blocked matmuls,
+// the im2col convolution loop, and end-to-end train steps of the MLP and
+// attention lite twins at kernel budgets 1 and GOMAXPROCS.
+func modelComputeCases(quick bool) []perfCase {
+	nproc := runtime.GOMAXPROCS(0)
+	mlp := func() *nn.Model { return nn.NewMLP(nn.DefaultLiteConfig(10, 1), 64) }
+	cases := []perfCase{
+		{"matmul-256", 3, matmulCase(256, 10)},
+		{"im2col-conv", 3, im2colConvCase(10)},
+		{"trainstep-mlp-b1", 3, trainStepCase(mlp, 20, 1)},
+		{"trainstep-mlp", 3, trainStepCase(mlp, 20, nproc)},
+	}
+	if !quick {
+		vit := func() *nn.Model {
+			cfg := nn.DefaultLiteConfig(10, 1)
+			return nn.NewViTLite(cfg, 4*cfg.Width, 4, 2)
+		}
+		cases = append(cases,
+			perfCase{"matmul-1024", 3, matmulCase(1024, 1)},
+			perfCase{"trainstep-attn-b1", 3, trainStepCase(vit, 8, 1)},
+			perfCase{"trainstep-attn", 3, trainStepCase(vit, 8, nproc)},
+		)
+	}
+	return cases
+}
+
 // RunPerf executes the pinned grid and returns its report.
 func RunPerf(opt PerfOptions) *BenchReport {
 	logf := func(format string, args ...any) {
@@ -180,6 +287,7 @@ func RunPerf(opt PerfOptions) *BenchReport {
 		cases = append(cases, perfCase{fmt.Sprintf("compose-%d", w), 3, composeCase(w, iters)})
 	}
 	cases = append(cases, encodeCases()...)
+	cases = append(cases, modelComputeCases(opt.Quick)...)
 	cases = append(cases, perfCase{"largescale", 3, func() {
 		if _, err := RunLargeScale(Options{Quick: opt.Quick}); err != nil {
 			panic(err)

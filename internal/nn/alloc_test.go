@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"testing"
+
+	"pactrain/internal/par"
+	"pactrain/internal/tensor"
+)
+
+// TestSteadyStateStepsAllocationFree pins the scratch-reuse contract: after a
+// warm-up step sizes every buffer, a budget-1 forward+backward through each
+// layer family allocates nothing. (Budget 1 is the meaningful case — at
+// higher budgets the chunk dispatch itself allocates its closure, which is
+// one small allocation per kernel call, not per element.)
+func TestSteadyStateStepsAllocationFree(t *testing.T) {
+	defer par.SetBudget(par.Budget())
+	par.SetBudget(1)
+	r := tensor.NewRNG(11)
+
+	cases := []struct {
+		name string
+		step func()
+	}{
+		{"Linear", func() {
+			l := NewLinear("l", r, 64, 32)
+			x := tensor.Randn(r, 1, 8, 64)
+			g := tensor.Randn(r, 1, 8, 32)
+			stepAllocs(t, "Linear", func() {
+				l.Forward(x, true)
+				l.Backward(g)
+			})
+		}},
+		{"Conv2D+BatchNorm", func() {
+			c := NewConv2D("c", r, 3, 8, 3, 1, 1)
+			bn := NewBatchNorm2D("bn", 8)
+			relu := NewReLU()
+			x := tensor.Randn(r, 1, 4, 3, 16, 16)
+			g := tensor.Randn(r, 1, 4, 8, 16, 16)
+			stepAllocs(t, "Conv2D+BatchNorm", func() {
+				y := c.Forward(x, true)
+				y = bn.Forward(y, true)
+				y = relu.Forward(y, true)
+				d := relu.Backward(g)
+				d = bn.Backward(d)
+				c.Backward(d)
+			})
+		}},
+		{"TransformerBlock", func() {
+			b := NewTransformerBlock("b", r, 16, 2, 2)
+			x := tensor.Randn(r, 1, 2, 9, 16)
+			g := tensor.Randn(r, 1, 2, 9, 16)
+			stepAllocs(t, "TransformerBlock", func() {
+				b.Forward(x, true)
+				b.Backward(g)
+			})
+		}},
+	}
+	for _, c := range cases {
+		c.step()
+	}
+}
+
+// stepAllocs warms the layer's scratch, then asserts a steady-state step
+// performs zero heap allocations.
+func stepAllocs(t *testing.T, name string, step func()) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(10, step); n > 0 {
+		t.Errorf("%s: steady-state step allocates %.1f times, want 0", name, n)
+	}
+}
+
+func benchmarkTrainStep(b *testing.B, model *Model) {
+	defer par.SetBudget(par.Budget())
+	r := tensor.NewRNG(1)
+	x := tensor.Randn(r, 1, 8, 3, 16, 16)
+	labels := make([]int, 8)
+	for i := range labels {
+		labels[i] = r.Intn(10)
+	}
+	opt := NewSGD(0.05, 0.9, 5e-4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.ZeroGrad()
+		logits := model.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(logits, labels)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+}
+
+func BenchmarkTrainStepMLP(b *testing.B) {
+	benchmarkTrainStep(b, NewMLP(DefaultLiteConfig(10, 1), 64))
+}
+
+func BenchmarkTrainStepVGG(b *testing.B) {
+	benchmarkTrainStep(b, NewVGGLite(DefaultLiteConfig(10, 1)))
+}
+
+func BenchmarkTrainStepAttn(b *testing.B) {
+	cfg := DefaultLiteConfig(10, 1)
+	benchmarkTrainStep(b, NewViTLite(cfg, 4*cfg.Width, 4, 2))
+}

@@ -3,25 +3,68 @@ package nn
 import (
 	"math"
 
+	"pactrain/internal/par"
 	"pactrain/internal/tensor"
 )
 
 // MultiHeadAttention implements standard scaled-dot-product multi-head
 // self-attention over (N, T, D) token tensors, the core of the ViT workload
 // in the paper's evaluation. D must be divisible by the head count.
+//
+// Both passes chunk over samples via the par budget: every per-sample
+// temporary lives in that sample's mhaScratch slot, forward writes disjoint
+// output slices, and backward computes per-sample weight-gradient partials
+// in parallel and then folds them into the shared parameter gradients in a
+// serial ascending-sample pass — the exact float accumulation sequence of
+// the scalar loop, keeping training bit-identical at any budget.
 type MultiHeadAttention struct {
 	Wq, Wk, Wv, Wo *Parameter
 	Bq, Bk, Bv, Bo *Parameter
 
 	D, Heads, Dh int
 
-	// Per-sample caches for backward.
-	lastX    *tensor.Tensor
-	lastQ    []*tensor.Tensor // per sample (T, D)
-	lastK    []*tensor.Tensor
-	lastV    []*tensor.Tensor
-	lastAttn [][]*tensor.Tensor // [sample][head] (T, T)
-	lastO    []*tensor.Tensor   // per sample concatenated head outputs (T, D)
+	lastX   *tensor.Tensor
+	scratch []*mhaScratch // one slot per sample, reused across steps
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
+}
+
+// mhaScratch holds every per-sample temporary of one attention
+// forward+backward, so steady-state steps allocate nothing. The xs/gs/dxs
+// view headers are retargeted with Rebind each step.
+type mhaScratch struct {
+	xs, gs, dxs *tensor.Tensor // (T, D) views into batch tensors
+
+	q, k, v, o, y  *tensor.Tensor   // (T, D)
+	attn           []*tensor.Tensor // per head (T, T)
+	qh, kh, vh, oh *tensor.Tensor   // (T, Dh)
+
+	do, dq, dk, dv     *tensor.Tensor // (T, D)
+	doh, dVh, dQh, dKh *tensor.Tensor // (T, Dh)
+	dAttn              *tensor.Tensor // (T, T)
+	dxPart             *tensor.Tensor // (T, D)
+
+	// Per-sample weight-gradient partials, folded serially into the shared
+	// parameter gradients.
+	dWq, dWk, dWv, dWo *tensor.Tensor // (D, D)
+}
+
+func newMHAScratch(t, d, heads, dh int) *mhaScratch {
+	sc := &mhaScratch{
+		xs: tensor.New(t, d), gs: tensor.New(t, d), dxs: tensor.New(t, d),
+		q: tensor.New(t, d), k: tensor.New(t, d), v: tensor.New(t, d),
+		o: tensor.New(t, d), y: tensor.New(t, d),
+		qh: tensor.New(t, dh), kh: tensor.New(t, dh), vh: tensor.New(t, dh), oh: tensor.New(t, dh),
+		do: tensor.New(t, d), dq: tensor.New(t, d), dk: tensor.New(t, d), dv: tensor.New(t, d),
+		doh: tensor.New(t, dh), dVh: tensor.New(t, dh), dQh: tensor.New(t, dh), dKh: tensor.New(t, dh),
+		dAttn: tensor.New(t, t), dxPart: tensor.New(t, d),
+		dWq: tensor.New(d, d), dWk: tensor.New(d, d), dWv: tensor.New(d, d), dWo: tensor.New(d, d),
+	}
+	sc.attn = make([]*tensor.Tensor, heads)
+	for h := range sc.attn {
+		sc.attn[h] = tensor.New(t, t)
+	}
+	return sc
 }
 
 // NewMultiHeadAttention constructs an attention layer with Xavier-initialized
@@ -43,31 +86,40 @@ func NewMultiHeadAttention(name string, r *tensor.RNG, d, heads int) *MultiHeadA
 	}
 }
 
-// project computes X·W + b for X of shape (T, D).
-func project(x *tensor.Tensor, w, b *Parameter) *tensor.Tensor {
-	out := tensor.MatMul(x, w.W)
-	t, d := out.Dim(0), out.Dim(1)
-	od, bd := out.Data(), b.W.Data()
+// ensureScratch sizes the per-sample scratch pool for batch size n and
+// sequence length t.
+func (l *MultiHeadAttention) ensureScratch(n, t int) {
+	if len(l.scratch) >= n && l.scratch[0].q.Dim(0) == t {
+		return
+	}
+	l.scratch = make([]*mhaScratch, n)
+	for s := range l.scratch {
+		l.scratch[s] = newMHAScratch(t, l.D, l.Heads, l.Dh)
+	}
+}
+
+// projectInto computes dst = x·W + b for x of shape (T, D).
+func projectInto(dst, x *tensor.Tensor, w, b *Parameter) {
+	tensor.MatMulInto(dst, x, w.W)
+	t, d := dst.Dim(0), dst.Dim(1)
+	od, bd := dst.Data(), b.W.Data()
 	for i := 0; i < t; i++ {
 		row := od[i*d : (i+1)*d]
 		for j := range row {
 			row[j] += bd[j]
 		}
 	}
-	return out
 }
 
-// colBlock copies columns [from,to) of a (T, D) matrix into a (T, to-from)
-// matrix.
-func colBlock(x *tensor.Tensor, from, to int) *tensor.Tensor {
+// colBlockInto copies columns [from,from+w) of a (T, D) matrix into a
+// (T, w) matrix.
+func colBlockInto(dst, x *tensor.Tensor, from int) {
 	t, d := x.Dim(0), x.Dim(1)
-	w := to - from
-	out := tensor.New(t, w)
-	xd, od := x.Data(), out.Data()
+	w := dst.Dim(1)
+	xd, od := x.Data(), dst.Data()
 	for i := 0; i < t; i++ {
-		copy(od[i*w:(i+1)*w], xd[i*d+from:i*d+to])
+		copy(od[i*w:(i+1)*w], xd[i*d+from:i*d+from+w])
 	}
-	return out
 }
 
 // addColBlock accumulates a (T, w) matrix into columns [from,from+w) of dst.
@@ -84,51 +136,53 @@ func addColBlock(dst, src *tensor.Tensor, from int) {
 	}
 }
 
-// sampleSlice views sample i of a (N, T, D) tensor as a (T, D) tensor
-// sharing storage.
-func sampleSlice(x *tensor.Tensor, i int) *tensor.Tensor {
-	t, d := x.Dim(1), x.Dim(2)
-	return tensor.FromSlice(x.Data()[i*t*d:(i+1)*t*d], t, d)
-}
-
 // Forward implements Layer.
 func (l *MultiHeadAttention) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
 	l.lastX = x
-	l.lastQ = make([]*tensor.Tensor, n)
-	l.lastK = make([]*tensor.Tensor, n)
-	l.lastV = make([]*tensor.Tensor, n)
-	l.lastAttn = make([][]*tensor.Tensor, n)
-	l.lastO = make([]*tensor.Tensor, n)
-	out := tensor.New(n, t, d)
+	l.ensureScratch(n, t)
+	l.out = ensure3(l.out, n, t, d)
 	scale := float32(1 / math.Sqrt(float64(l.Dh)))
 
-	for s := 0; s < n; s++ {
-		xs := sampleSlice(x, s)
-		q := project(xs, l.Wq, l.Bq)
-		k := project(xs, l.Wk, l.Bk)
-		v := project(xs, l.Wv, l.Bv)
-		l.lastQ[s], l.lastK[s], l.lastV[s] = q, k, v
-		l.lastAttn[s] = make([]*tensor.Tensor, l.Heads)
-		o := tensor.New(t, d)
-		for h := 0; h < l.Heads; h++ {
-			from := h * l.Dh
-			qh := colBlock(q, from, from+l.Dh)
-			kh := colBlock(k, from, from+l.Dh)
-			vh := colBlock(v, from, from+l.Dh)
-			scores := tensor.New(t, t)
-			tensor.MatMulTransBInto(scores, qh, kh)
-			scores.ScaleInPlace(scale)
-			softmaxRows(scores)
-			l.lastAttn[s][h] = scores
-			oh := tensor.MatMul(scores, vh)
-			addColBlock(o, oh, from)
+	work := 4 * n * t * d * d
+	if par.PlanChunks(n, work) == 1 {
+		for s := 0; s < n; s++ {
+			l.forwardSample(x, scale, s)
 		}
-		l.lastO[s] = o
-		y := project(o, l.Wo, l.Bo)
-		copy(out.Data()[s*t*d:(s+1)*t*d], y.Data())
+	} else {
+		par.ForChunksWork(n, work, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				l.forwardSample(x, scale, s)
+			}
+		})
 	}
-	return out
+	return l.out
+}
+
+// forwardSample runs attention for one sample into its scratch slot and the
+// sample's slice of the output tensor.
+func (l *MultiHeadAttention) forwardSample(x *tensor.Tensor, scale float32, s int) {
+	t, d := x.Dim(1), x.Dim(2)
+	sc := l.scratch[s]
+	sc.xs.Rebind(x.Data()[s*t*d : (s+1)*t*d])
+	projectInto(sc.q, sc.xs, l.Wq, l.Bq)
+	projectInto(sc.k, sc.xs, l.Wk, l.Bk)
+	projectInto(sc.v, sc.xs, l.Wv, l.Bv)
+	sc.o.Zero()
+	for h := 0; h < l.Heads; h++ {
+		from := h * l.Dh
+		colBlockInto(sc.qh, sc.q, from)
+		colBlockInto(sc.kh, sc.k, from)
+		colBlockInto(sc.vh, sc.v, from)
+		scores := sc.attn[h]
+		tensor.MatMulTransBInto(scores, sc.qh, sc.kh)
+		scores.ScaleInPlace(scale)
+		softmaxRows(scores)
+		tensor.MatMulInto(sc.oh, scores, sc.vh)
+		addColBlock(sc.o, sc.oh, from)
+	}
+	projectInto(sc.y, sc.o, l.Wo, l.Bo)
+	copy(l.out.Data()[s*t*d:(s+1)*t*d], sc.y.Data())
 }
 
 // softmaxRows applies softmax to each row of a rank-2 tensor in place.
@@ -159,82 +213,103 @@ func softmaxRows(x *tensor.Tensor) {
 // Backward implements Layer.
 func (l *MultiHeadAttention) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, t, d := grad.Dim(0), grad.Dim(1), grad.Dim(2)
-	dx := tensor.New(n, t, d)
+	l.dx = ensure3(l.dx, n, t, d)
 	scale := float32(1 / math.Sqrt(float64(l.Dh)))
 
-	for s := 0; s < n; s++ {
-		gs := sampleSlice(grad, s)
-		xs := sampleSlice(l.lastX, s)
-		o := l.lastO[s]
-
-		// Output projection: y = o·Wo + bo.
-		dWo := tensor.New(d, d)
-		tensor.MatMulTransAInto(dWo, o, gs)
-		tensor.AxpyInto(l.Wo.Grad, 1, dWo)
-		accumBias(l.Bo.Grad, gs)
-		do := tensor.New(t, d)
-		tensor.MatMulTransBInto(do, gs, l.Wo.W)
-
-		dq := tensor.New(t, d)
-		dk := tensor.New(t, d)
-		dv := tensor.New(t, d)
-		for h := 0; h < l.Heads; h++ {
-			from := h * l.Dh
-			doh := colBlock(do, from, from+l.Dh)
-			attn := l.lastAttn[s][h]
-			vh := colBlock(l.lastV[s], from, from+l.Dh)
-			qh := colBlock(l.lastQ[s], from, from+l.Dh)
-			kh := colBlock(l.lastK[s], from, from+l.Dh)
-
-			// oh = attn · vh.
-			dAttn := tensor.New(t, t)
-			tensor.MatMulTransBInto(dAttn, doh, vh)
-			dVh := tensor.New(t, l.Dh)
-			tensor.MatMulTransAInto(dVh, attn, doh)
-
-			// Softmax backward per row: ds = A ⊙ (dA − Σ(dA⊙A)).
-			ad, dad := attn.Data(), dAttn.Data()
-			for i := 0; i < t; i++ {
-				var dot float64
-				for j := 0; j < t; j++ {
-					dot += float64(dad[i*t+j]) * float64(ad[i*t+j])
-				}
-				for j := 0; j < t; j++ {
-					dad[i*t+j] = ad[i*t+j] * (dad[i*t+j] - float32(dot))
-				}
-			}
-			dAttn.ScaleInPlace(scale)
-
-			// scores = qh·khᵀ.
-			dQh := tensor.MatMul(dAttn, kh)
-			dKh := tensor.New(t, l.Dh)
-			tensor.MatMulTransAInto(dKh, dAttn, qh)
-
-			addColBlock(dq, dQh, from)
-			addColBlock(dk, dKh, from)
-			addColBlock(dv, dVh, from)
+	// Phase 1 (parallel over samples): per-sample dx slices and per-sample
+	// weight-gradient partials. No shared state is written.
+	work := 8 * n * t * d * d
+	if par.PlanChunks(n, work) == 1 {
+		for s := 0; s < n; s++ {
+			l.backwardSample(grad, scale, s)
 		}
-
-		// Input projections: q = x·Wq + bq etc.
-		dxs := sampleSlice(dx, s)
-		backProject(l.Wq, l.Bq, xs, dq, dxs)
-		backProject(l.Wk, l.Bk, xs, dk, dxs)
-		backProject(l.Wv, l.Bv, xs, dv, dxs)
+	} else {
+		par.ForChunksWork(n, work, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				l.backwardSample(grad, scale, s)
+			}
+		})
 	}
-	return dx
+
+	// Phase 2 (serial, ascending samples): fold the partials into the shared
+	// parameter gradients in exactly the scalar accumulation order.
+	for s := 0; s < n; s++ {
+		sc := l.scratch[s]
+		tensor.AxpyInto(l.Wo.Grad, 1, sc.dWo)
+		accumBias(l.Bo.Grad, sc.gs)
+		tensor.AxpyInto(l.Wq.Grad, 1, sc.dWq)
+		accumBias(l.Bq.Grad, sc.dq)
+		tensor.AxpyInto(l.Wk.Grad, 1, sc.dWk)
+		accumBias(l.Bk.Grad, sc.dk)
+		tensor.AxpyInto(l.Wv.Grad, 1, sc.dWv)
+		accumBias(l.Bv.Grad, sc.dv)
+	}
+	return l.dx
 }
 
-// backProject accumulates gradients for a projection y = x·W + b given dY,
-// adding the input gradient into dxAccum.
-func backProject(w, b *Parameter, x, dy, dxAccum *tensor.Tensor) {
-	d := w.W.Dim(0)
-	dW := tensor.New(d, w.W.Dim(1))
-	tensor.MatMulTransAInto(dW, x, dy)
-	tensor.AxpyInto(w.Grad, 1, dW)
-	accumBias(b.Grad, dy)
-	dxPart := tensor.New(x.Dim(0), d)
-	tensor.MatMulTransBInto(dxPart, dy, w.W)
-	tensor.AxpyInto(dxAccum, 1, dxPart)
+// backwardSample computes one sample's gradients: dx slice plus the
+// per-sample dW partials left in scratch for the serial fold.
+func (l *MultiHeadAttention) backwardSample(grad *tensor.Tensor, scale float32, s int) {
+	t, d := grad.Dim(1), grad.Dim(2)
+	sc := l.scratch[s]
+	sc.gs.Rebind(grad.Data()[s*t*d : (s+1)*t*d])
+	sc.dxs.Rebind(l.dx.Data()[s*t*d : (s+1)*t*d])
+	sc.xs.Rebind(l.lastX.Data()[s*t*d : (s+1)*t*d])
+
+	// Output projection: y = o·Wo + bo.
+	tensor.MatMulTransAInto(sc.dWo, sc.o, sc.gs)
+	tensor.MatMulTransBInto(sc.do, sc.gs, l.Wo.W)
+
+	sc.dq.Zero()
+	sc.dk.Zero()
+	sc.dv.Zero()
+	for h := 0; h < l.Heads; h++ {
+		from := h * l.Dh
+		colBlockInto(sc.doh, sc.do, from)
+		attn := sc.attn[h]
+		colBlockInto(sc.vh, sc.v, from)
+		colBlockInto(sc.qh, sc.q, from)
+		colBlockInto(sc.kh, sc.k, from)
+
+		// oh = attn · vh.
+		tensor.MatMulTransBInto(sc.dAttn, sc.doh, sc.vh)
+		tensor.MatMulTransAInto(sc.dVh, attn, sc.doh)
+
+		// Softmax backward per row: ds = A ⊙ (dA − Σ(dA⊙A)).
+		ad, dad := attn.Data(), sc.dAttn.Data()
+		for i := 0; i < t; i++ {
+			var dot float64
+			for j := 0; j < t; j++ {
+				dot += float64(dad[i*t+j]) * float64(ad[i*t+j])
+			}
+			for j := 0; j < t; j++ {
+				dad[i*t+j] = ad[i*t+j] * (dad[i*t+j] - float32(dot))
+			}
+		}
+		sc.dAttn.ScaleInPlace(scale)
+
+		// scores = qh·khᵀ.
+		tensor.MatMulInto(sc.dQh, sc.dAttn, sc.kh)
+		tensor.MatMulTransAInto(sc.dKh, sc.dAttn, sc.qh)
+
+		addColBlock(sc.dq, sc.dQh, from)
+		addColBlock(sc.dk, sc.dKh, from)
+		addColBlock(sc.dv, sc.dVh, from)
+	}
+
+	// Input projections: q = x·Wq + bq etc. Weight partials stay in scratch;
+	// the dx slice accumulates its three parts here (zero + q + k + v, the
+	// scalar order).
+	sc.dxs.Zero()
+	tensor.MatMulTransAInto(sc.dWq, sc.xs, sc.dq)
+	tensor.MatMulTransBInto(sc.dxPart, sc.dq, l.Wq.W)
+	tensor.AxpyInto(sc.dxs, 1, sc.dxPart)
+	tensor.MatMulTransAInto(sc.dWk, sc.xs, sc.dk)
+	tensor.MatMulTransBInto(sc.dxPart, sc.dk, l.Wk.W)
+	tensor.AxpyInto(sc.dxs, 1, sc.dxPart)
+	tensor.MatMulTransAInto(sc.dWv, sc.xs, sc.dv)
+	tensor.MatMulTransBInto(sc.dxPart, sc.dv, l.Wv.W)
+	tensor.AxpyInto(sc.dxs, 1, sc.dxPart)
 }
 
 // accumBias adds the column sums of a (T, D) gradient into a (D) bias grad.
@@ -267,6 +342,13 @@ type PatchEmbed struct {
 
 	lastCols  *tensor.Tensor
 	lastShape []int
+
+	proj  *tensor.Tensor
+	out   *tensor.Tensor
+	dProj *tensor.Tensor
+	dW    *tensor.Tensor
+	dcols *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewPatchEmbed constructs the embedding for images of (c, h, w) with square
@@ -290,13 +372,14 @@ func NewPatchEmbed(name string, r *tensor.RNG, c, h, w, ps, d int) *PatchEmbed {
 func (l *PatchEmbed) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n := x.Dim(0)
 	l.lastShape = append(l.lastShape[:0], x.Shape()...)
-	cols := tensor.Im2Col(x, l.PS, l.PS, l.PS, 0) // (N*T, patch)
-	l.lastCols = cols
-	proj := tensor.New(n*l.T, l.D)
-	tensor.MatMulTransBInto(proj, cols, l.Proj.W)
+	patch := l.Proj.W.Dim(1)
+	l.lastCols = ensure2(l.lastCols, n*l.T, patch)
+	tensor.Im2ColInto(l.lastCols, x, l.PS, l.PS, l.PS, 0) // (N*T, patch)
+	l.proj = ensure2(l.proj, n*l.T, l.D)
+	tensor.MatMulTransBInto(l.proj, l.lastCols, l.Proj.W)
 
-	out := tensor.New(n, l.T+1, l.D)
-	od, pd := out.Data(), proj.Data()
+	l.out = ensure3(l.out, n, l.T+1, l.D)
+	od, pd := l.out.Data(), l.proj.Data()
 	bd, cd, ed := l.Bias.W.Data(), l.Cls.W.Data(), l.PosEmb.W.Data()
 	for s := 0; s < n; s++ {
 		base := s * (l.T + 1) * l.D
@@ -312,7 +395,7 @@ func (l *PatchEmbed) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward implements Layer.
@@ -320,8 +403,8 @@ func (l *PatchEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	gd := grad.Data()
 	cg, eg, bg := l.Cls.Grad.Data(), l.PosEmb.Grad.Data(), l.Bias.Grad.Data()
-	dProj := tensor.New(n*l.T, l.D)
-	dpd := dProj.Data()
+	l.dProj = ensure2(l.dProj, n*l.T, l.D)
+	dpd := l.dProj.Data()
 	for s := 0; s < n; s++ {
 		base := s * (l.T + 1) * l.D
 		for j := 0; j < l.D; j++ {
@@ -340,13 +423,16 @@ func (l *PatchEmbed) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dW = dProjᵀ × cols → (D, patch).
-	dW := tensor.New(l.D, l.Proj.W.Dim(1))
-	tensor.MatMulTransAInto(dW, dProj, l.lastCols)
-	tensor.AxpyInto(l.Proj.Grad, 1, dW)
+	l.dW = ensure2(l.dW, l.D, l.Proj.W.Dim(1))
+	tensor.MatMulTransAInto(l.dW, l.dProj, l.lastCols)
+	tensor.AxpyInto(l.Proj.Grad, 1, l.dW)
 	// dcols = dProj × W.
-	dcols := tensor.MatMul(dProj, l.Proj.W)
+	l.dcols = ensure2(l.dcols, n*l.T, l.Proj.W.Dim(1))
+	tensor.MatMulInto(l.dcols, l.dProj, l.Proj.W)
 	h, w := l.lastShape[2], l.lastShape[3]
-	return tensor.Col2Im(dcols, n, l.C, h, w, l.PS, l.PS, l.PS, 0)
+	l.dx = ensure4(l.dx, n, l.C, h, w)
+	tensor.Col2ImInto(l.dx, l.dcols, l.PS, l.PS, l.PS, 0)
+	return l.dx
 }
 
 // Params implements Layer.
@@ -368,6 +454,11 @@ type TransformerBlock struct {
 	FC2  *Linear
 
 	lastShape []int
+
+	x1, out, dx1, dxOut *tensor.Tensor // (N, T, D)
+	// Flat/shaped view headers retargeted with Rebind each step.
+	hFlat, gradFlat *tensor.Tensor // (N*T, D)
+	h4View, gmView  *tensor.Tensor // (N, T, D)
 }
 
 // NewTransformerBlock builds a block of width d with the given head count
@@ -386,29 +477,43 @@ func NewTransformerBlock(name string, r *tensor.RNG, d, heads, mlpRatio int) *Tr
 // Forward implements Layer.
 func (l *TransformerBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
-	l.lastShape = []int{n, t, d}
+	l.lastShape = append(l.lastShape[:0], n, t, d)
 	a := l.Attn.Forward(l.LN1.Forward(x, train), train)
-	x1 := tensor.Add(x, a)
-	h := l.LN2.Forward(x1, train)
-	h2 := l.FC1.Forward(h.Reshape(n*t, d), train)
+	l.x1 = ensure3(l.x1, n, t, d)
+	tensor.AddInto(l.x1, x, a)
+	h := l.LN2.Forward(l.x1, train)
+	l.hFlat = ensure2(l.hFlat, n*t, d)
+	l.hFlat.Rebind(h.Data())
+	h2 := l.FC1.Forward(l.hFlat, train)
 	h3 := l.Act.Forward(h2, train)
 	h4 := l.FC2.Forward(h3, train)
-	return tensor.Add(x1, h4.Reshape(n, t, d))
+	l.h4View = ensure3(l.h4View, n, t, d)
+	l.h4View.Rebind(h4.Data())
+	l.out = ensure3(l.out, n, t, d)
+	tensor.AddInto(l.out, l.x1, l.h4View)
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *TransformerBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, t, d := l.lastShape[0], l.lastShape[1], l.lastShape[2]
 	// MLP branch.
-	gm := l.FC2.Backward(grad.Reshape(n*t, d))
+	l.gradFlat = ensure2(l.gradFlat, n*t, d)
+	l.gradFlat.Rebind(grad.Data())
+	gm := l.FC2.Backward(l.gradFlat)
 	gm = l.Act.Backward(gm)
 	gm = l.FC1.Backward(gm)
-	gm = l.LN2.Backward(gm.Reshape(n, t, d))
-	dx1 := tensor.Add(grad, gm)
+	l.gmView = ensure3(l.gmView, n, t, d)
+	l.gmView.Rebind(gm.Data())
+	gn := l.LN2.Backward(l.gmView)
+	l.dx1 = ensure3(l.dx1, n, t, d)
+	tensor.AddInto(l.dx1, grad, gn)
 	// Attention branch.
-	ga := l.Attn.Backward(dx1)
+	ga := l.Attn.Backward(l.dx1)
 	ga = l.LN1.Backward(ga)
-	return tensor.Add(dx1, ga)
+	l.dxOut = ensure3(l.dxOut, n, t, d)
+	tensor.AddInto(l.dxOut, l.dx1, ga)
+	return l.dxOut
 }
 
 // Params implements Layer.
@@ -426,6 +531,8 @@ func (l *TransformerBlock) Params() []*Parameter {
 // (N, D) for the classifier head.
 type TokenPool struct {
 	lastShape []int
+	out       *tensor.Tensor
+	dx        *tensor.Tensor
 }
 
 // NewTokenPool returns a class-token pooling layer.
@@ -434,24 +541,25 @@ func NewTokenPool() *TokenPool { return &TokenPool{} }
 // Forward implements Layer.
 func (l *TokenPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
-	l.lastShape = []int{n, t, d}
-	out := tensor.New(n, d)
-	xd, od := x.Data(), out.Data()
+	l.lastShape = append(l.lastShape[:0], n, t, d)
+	l.out = ensure2(l.out, n, d)
+	xd, od := x.Data(), l.out.Data()
 	for s := 0; s < n; s++ {
 		copy(od[s*d:(s+1)*d], xd[s*t*d:s*t*d+d])
 	}
-	return out
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *TokenPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, t, d := l.lastShape[0], l.lastShape[1], l.lastShape[2]
-	dx := tensor.New(n, t, d)
-	gd, dd := grad.Data(), dx.Data()
+	l.dx = ensure3(l.dx, n, t, d)
+	l.dx.Zero()
+	gd, dd := grad.Data(), l.dx.Data()
 	for s := 0; s < n; s++ {
 		copy(dd[s*t*d:s*t*d+d], gd[s*d:(s+1)*d])
 	}
-	return dx
+	return l.dx
 }
 
 // Params implements Layer.

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"pactrain/internal/par"
 	"pactrain/internal/tensor"
 )
 
@@ -16,6 +17,14 @@ type Conv2D struct {
 	Stride, Pad    int
 	lastCols       *tensor.Tensor
 	lastInputShape []int
+
+	// Scratch reused across steps.
+	outMat *tensor.Tensor
+	out    *tensor.Tensor
+	gm     *tensor.Tensor
+	dW     *tensor.Tensor
+	dcols  *tensor.Tensor
+	dx     *tensor.Tensor
 }
 
 // NewConv2D constructs a convolution layer with Kaiming initialization.
@@ -33,28 +42,44 @@ func (l *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	outH := tensor.ConvOutSize(h, l.KH, l.Stride, l.Pad)
 	outW := tensor.ConvOutSize(w, l.KW, l.Stride, l.Pad)
-	cols := tensor.Im2Col(x, l.KH, l.KW, l.Stride, l.Pad) // (N*outH*outW, inC*kh*kw)
-	l.lastCols = cols
+	spatial := outH * outW
+	patch := l.Weight.W.Dim(1)
+	rows := n * spatial
+	l.lastCols = ensure2(l.lastCols, rows, patch)
+	tensor.Im2ColInto(l.lastCols, x, l.KH, l.KW, l.Stride, l.Pad) // (N*outH*outW, inC*kh*kw)
 	l.lastInputShape = append(l.lastInputShape[:0], x.Shape()...)
 
 	// out = cols × Wᵀ : (rows, outC)
-	rows := cols.Dim(0)
-	outMat := tensor.New(rows, l.OutC)
-	tensor.MatMulTransBInto(outMat, cols, l.Weight.W)
+	l.outMat = ensure2(l.outMat, rows, l.OutC)
+	tensor.MatMulTransBInto(l.outMat, l.lastCols, l.Weight.W)
 
 	// Add bias and permute (N*outH*outW, outC) → (N, outC, outH, outW).
-	out := tensor.New(n, l.OutC, outH, outW)
-	od, md, bd := out.Data(), outMat.Data(), l.Bias.W.Data()
-	spatial := outH * outW
-	for img := 0; img < n; img++ {
+	// Images are disjoint, so the permute chunks over them bit-exactly.
+	l.out = ensure4(l.out, n, l.OutC, outH, outW)
+	od, md, bd := l.out.Data(), l.outMat.Data(), l.Bias.W.Data()
+	work := rows * l.OutC
+	if par.PlanChunks(n, work) == 1 {
+		convPermuteForward(od, md, bd, l.OutC, spatial, 0, n)
+	} else {
+		outC := l.OutC
+		par.ForChunksWork(n, work, func(_, lo, hi int) {
+			convPermuteForward(od, md, bd, outC, spatial, lo, hi)
+		})
+	}
+	return l.out
+}
+
+// convPermuteForward adds the bias and permutes images [lo,hi) from
+// (rows, outC) layout to (N, outC, outH, outW).
+func convPermuteForward(od, md, bd []float32, outC, spatial, lo, hi int) {
+	for img := lo; img < hi; img++ {
 		for s := 0; s < spatial; s++ {
-			row := md[(img*spatial+s)*l.OutC : (img*spatial+s+1)*l.OutC]
+			row := md[(img*spatial+s)*outC : (img*spatial+s+1)*outC]
 			for f, v := range row {
-				od[(img*l.OutC+f)*spatial+s] = v + bd[f]
+				od[(img*outC+f)*spatial+s] = v + bd[f]
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
@@ -66,19 +91,22 @@ func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	spatial := outH * outW
 	rows := n * spatial
 
-	// Un-permute grad (N, outC, outH, outW) → (rows, outC).
-	gm := tensor.New(rows, l.OutC)
-	gd, gmd := grad.Data(), gm.Data()
-	for img := 0; img < n; img++ {
-		for f := 0; f < l.OutC; f++ {
-			src := gd[(img*l.OutC+f)*spatial : (img*l.OutC+f+1)*spatial]
-			for s, v := range src {
-				gmd[(img*spatial+s)*l.OutC+f] = v
-			}
-		}
+	// Un-permute grad (N, outC, outH, outW) → (rows, outC). Images are
+	// disjoint, so the permute chunks over them bit-exactly.
+	l.gm = ensure2(l.gm, rows, l.OutC)
+	gd, gmd := grad.Data(), l.gm.Data()
+	work := rows * l.OutC
+	if par.PlanChunks(n, work) == 1 {
+		convPermuteBackward(gmd, gd, l.OutC, spatial, 0, n)
+	} else {
+		outC := l.OutC
+		par.ForChunksWork(n, work, func(_, lo, hi int) {
+			convPermuteBackward(gmd, gd, outC, spatial, lo, hi)
+		})
 	}
 
-	// Bias gradient: column sums of gm.
+	// Bias gradient: column sums of gm, kept serial so each channel's terms
+	// accumulate in the scalar row order.
 	bg := l.Bias.Grad.Data()
 	for r := 0; r < rows; r++ {
 		row := gmd[r*l.OutC : (r+1)*l.OutC]
@@ -89,13 +117,29 @@ func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 	// Weight gradient: dW = gmᵀ × cols → (outC, inC*kh*kw).
 	patch := l.Weight.W.Dim(1)
-	dW := tensor.New(l.OutC, patch)
-	tensor.MatMulTransAInto(dW, gm, l.lastCols)
-	tensor.AxpyInto(l.Weight.Grad, 1, dW)
+	l.dW = ensure2(l.dW, l.OutC, patch)
+	tensor.MatMulTransAInto(l.dW, l.gm, l.lastCols)
+	tensor.AxpyInto(l.Weight.Grad, 1, l.dW)
 
 	// Input gradient: dcols = gm × W → (rows, patch); then col2im.
-	dcols := tensor.MatMul(gm, l.Weight.W)
-	return tensor.Col2Im(dcols, n, l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad)
+	l.dcols = ensure2(l.dcols, rows, patch)
+	tensor.MatMulInto(l.dcols, l.gm, l.Weight.W)
+	l.dx = ensure4(l.dx, n, l.InC, h, w)
+	tensor.Col2ImInto(l.dx, l.dcols, l.KH, l.KW, l.Stride, l.Pad)
+	return l.dx
+}
+
+// convPermuteBackward un-permutes images [lo,hi) of the gradient from
+// (N, outC, outH, outW) layout to (rows, outC).
+func convPermuteBackward(gmd, gd []float32, outC, spatial, lo, hi int) {
+	for img := lo; img < hi; img++ {
+		for f := 0; f < outC; f++ {
+			src := gd[(img*outC+f)*spatial : (img*outC+f+1)*spatial]
+			for s, v := range src {
+				gmd[(img*spatial+s)*outC+f] = v
+			}
+		}
+	}
 }
 
 // Params implements Layer.
@@ -107,6 +151,8 @@ type MaxPool2D struct {
 
 	argmax    []int
 	lastShape []int
+	out       *tensor.Tensor
+	dx        *tensor.Tensor
 }
 
 // NewMaxPool2D constructs a max-pool with square window k and the given
@@ -118,7 +164,8 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	outH := tensor.ConvOutSize(h, l.K, l.Stride, 0)
 	outW := tensor.ConvOutSize(w, l.K, l.Stride, 0)
-	out := tensor.New(n, c, outH, outW)
+	l.out = ensure4(l.out, n, c, outH, outW)
+	out := l.out
 	l.lastShape = append(l.lastShape[:0], x.Shape()...)
 	if cap(l.argmax) < out.Len() {
 		l.argmax = make([]int, out.Len())
@@ -162,12 +209,13 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(l.lastShape...)
-	dd, gd := dx.Data(), grad.Data()
+	l.dx = ensure4(l.dx, l.lastShape[0], l.lastShape[1], l.lastShape[2], l.lastShape[3])
+	l.dx.Zero()
+	dd, gd := l.dx.Data(), grad.Data()
 	for i, src := range l.argmax {
 		dd[src] += gd[i]
 	}
-	return dx
+	return l.dx
 }
 
 // Params implements Layer.
@@ -177,6 +225,8 @@ func (l *MaxPool2D) Params() []*Parameter { return nil }
 // (N, C, H, W) → (N, C). ResNet-style models use it before the classifier.
 type GlobalAvgPool2D struct {
 	lastShape []int
+	out       *tensor.Tensor
+	dx        *tensor.Tensor
 }
 
 // NewGlobalAvgPool2D constructs the layer.
@@ -186,7 +236,8 @@ func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
 func (l *GlobalAvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	l.lastShape = append(l.lastShape[:0], x.Shape()...)
-	out := tensor.New(n, c)
+	l.out = ensure2(l.out, n, c)
+	out := l.out
 	xd, od := x.Data(), out.Data()
 	area := h * w
 	inv := 1 / float32(area)
@@ -204,7 +255,8 @@ func (l *GlobalAvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (l *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := l.lastShape[0], l.lastShape[1], l.lastShape[2], l.lastShape[3]
-	dx := tensor.New(n, c, h, w)
+	l.dx = ensure4(l.dx, n, c, h, w)
+	dx := l.dx
 	dd, gd := dx.Data(), grad.Data()
 	area := h * w
 	inv := 1 / float32(area)

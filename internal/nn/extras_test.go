@@ -79,7 +79,7 @@ func TestAttentionRowsSumToOne(t *testing.T) {
 	attn.Forward(x, true)
 	for s := 0; s < 2; s++ {
 		for h := 0; h < 2; h++ {
-			a := attn.lastAttn[s][h]
+			a := attn.scratch[s].attn[h]
 			for row := 0; row < 5; row++ {
 				var sum float64
 				for col := 0; col < 5; col++ {

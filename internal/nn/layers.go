@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"pactrain/internal/par"
 	"pactrain/internal/tensor"
 )
 
@@ -13,6 +14,9 @@ type Linear struct {
 	Bias   *Parameter
 
 	lastInput *tensor.Tensor
+	out       *tensor.Tensor // forward output, reused across steps
+	dW        *tensor.Tensor // per-step weight-gradient scratch
+	dx        *tensor.Tensor // backward output, reused across steps
 }
 
 // NewLinear constructs a Linear layer with Kaiming-initialized weights. The
@@ -29,7 +33,9 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	l.lastInput = x
 	n := x.Dim(0)
 	out := l.Weight.W.Dim(1)
-	y := tensor.MatMul(x, l.Weight.W)
+	l.out = ensure2(l.out, n, out)
+	y := l.out
+	tensor.MatMulInto(y, x, l.Weight.W)
 	bd := l.Bias.W.Data()
 	yd := y.Data()
 	for i := 0; i < n; i++ {
@@ -47,9 +53,9 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	in, out := l.Weight.W.Dim(0), l.Weight.W.Dim(1)
 	n := x.Dim(0)
 
-	dW := tensor.New(in, out)
-	tensor.MatMulTransAInto(dW, x, grad)
-	tensor.AxpyInto(l.Weight.Grad, 1, dW)
+	l.dW = ensure2(l.dW, in, out)
+	tensor.MatMulTransAInto(l.dW, x, grad)
+	tensor.AxpyInto(l.Weight.Grad, 1, l.dW)
 
 	gb := l.Bias.Grad.Data()
 	gd := grad.Data()
@@ -60,9 +66,9 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 
-	dx := tensor.New(n, in)
-	tensor.MatMulTransBInto(dx, grad, l.Weight.W)
-	return dx
+	l.dx = ensure2(l.dx, n, in)
+	tensor.MatMulTransBInto(l.dx, grad, l.Weight.W)
+	return l.dx
 }
 
 // Params implements Layer.
@@ -71,6 +77,8 @@ func (l *Linear) Params() []*Parameter { return []*Parameter{l.Weight, l.Bias} }
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	mask []bool
+	out  *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation.
@@ -78,33 +86,36 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
-	d := out.Data()
+	l.out = ensureLike(l.out, x)
+	xd, d := x.Data(), l.out.Data()
 	if cap(l.mask) < len(d) {
 		l.mask = make([]bool, len(d))
 	}
 	l.mask = l.mask[:len(d)]
-	for i, v := range d {
+	for i, v := range xd {
 		if v > 0 {
 			l.mask[i] = true
+			d[i] = v
 		} else {
 			l.mask[i] = false
 			d[i] = 0
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	d := out.Data()
-	for i := range d {
-		if !l.mask[i] {
+	l.dx = ensureLike(l.dx, grad)
+	gd, d := grad.Data(), l.dx.Data()
+	for i, v := range gd {
+		if l.mask[i] {
+			d[i] = v
+		} else {
 			d[i] = 0
 		}
 	}
-	return out
+	return l.dx
 }
 
 // Params implements Layer.
@@ -114,6 +125,8 @@ func (l *ReLU) Params() []*Parameter { return nil }
 // the activation used by the ViT models in the paper's workload set.
 type GELU struct {
 	lastInput *tensor.Tensor
+	out       *tensor.Tensor
+	dx        *tensor.Tensor
 }
 
 // NewGELU returns a GELU activation.
@@ -121,32 +134,52 @@ func NewGELU() *GELU { return &GELU{} }
 
 const geluC = 0.7978845608028654 // sqrt(2/pi)
 
-// Forward implements Layer.
+// Forward implements Layer. The elementwise map chunks over the par budget
+// (trivially bit-exact); the scalar path avoids the dispatch closure so the
+// budget-1 step stays allocation-free.
 func (l *GELU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	l.lastInput = x
-	out := x.Clone()
-	d := out.Data()
-	for i, v := range d {
-		fv := float64(v)
+	l.out = ensureLike(l.out, x)
+	xd, d := x.Data(), l.out.Data()
+	n := len(xd)
+	if par.PlanChunks(n, n) == 1 {
+		geluForwardRange(xd, d, 0, n)
+		return l.out
+	}
+	par.For(n, func(lo, hi int) { geluForwardRange(xd, d, lo, hi) })
+	return l.out
+}
+
+func geluForwardRange(xd, d []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		fv := float64(xd[i])
 		d[i] = float32(0.5 * fv * (1 + math.Tanh(geluC*(fv+0.044715*fv*fv*fv))))
 	}
-	return out
 }
 
 // Backward implements Layer.
 func (l *GELU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	gd := out.Data()
+	l.dx = ensureLike(l.dx, grad)
+	gin, gd := grad.Data(), l.dx.Data()
 	xd := l.lastInput.Data()
-	for i := range gd {
+	n := len(gd)
+	if par.PlanChunks(n, n) == 1 {
+		geluBackwardRange(xd, gin, gd, 0, n)
+		return l.dx
+	}
+	par.For(n, func(lo, hi int) { geluBackwardRange(xd, gin, gd, lo, hi) })
+	return l.dx
+}
+
+func geluBackwardRange(xd, gin, gd []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		x := float64(xd[i])
 		inner := geluC * (x + 0.044715*x*x*x)
 		t := math.Tanh(inner)
 		dInner := geluC * (1 + 3*0.044715*x*x)
 		dgelu := 0.5*(1+t) + 0.5*x*(1-t*t)*dInner
-		gd[i] *= float32(dgelu)
+		gd[i] = gin[i] * float32(dgelu)
 	}
-	return out
 }
 
 // Params implements Layer.
@@ -160,6 +193,8 @@ type Dropout struct {
 	rng *tensor.RNG
 
 	mask []bool
+	out  *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewDropout constructs a dropout layer with its own deterministic RNG
@@ -174,23 +209,24 @@ func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.mask = nil
 		return x
 	}
-	out := x.Clone()
-	d := out.Data()
+	l.out = ensureLike(l.out, x)
+	xd, d := x.Data(), l.out.Data()
 	if cap(l.mask) < len(d) {
 		l.mask = make([]bool, len(d))
 	}
 	l.mask = l.mask[:len(d)]
 	scale := float32(1 / (1 - l.P))
+	// The RNG stream is inherently sequential, so this loop stays serial.
 	for i := range d {
 		if l.rng.Float64() < l.P {
 			l.mask[i] = false
 			d[i] = 0
 		} else {
 			l.mask[i] = true
-			d[i] *= scale
+			d[i] = xd[i] * scale
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward implements Layer.
@@ -198,17 +234,17 @@ func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.mask == nil {
 		return grad
 	}
-	out := grad.Clone()
-	d := out.Data()
+	l.dx = ensureLike(l.dx, grad)
+	gd, d := grad.Data(), l.dx.Data()
 	scale := float32(1 / (1 - l.P))
 	for i := range d {
 		if l.mask[i] {
-			d[i] *= scale
+			d[i] = gd[i] * scale
 		} else {
 			d[i] = 0
 		}
 	}
-	return out
+	return l.dx
 }
 
 // Params implements Layer.
@@ -245,6 +281,9 @@ type Residual struct {
 	Shortcut Layer
 
 	reluMask []bool
+	out      *tensor.Tensor
+	g        *tensor.Tensor
+	dx       *tensor.Tensor
 }
 
 // NewResidual builds a residual block.
@@ -259,8 +298,9 @@ func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if l.Shortcut != nil {
 		skip = l.Shortcut.Forward(x, train)
 	}
-	out := tensor.Add(main, skip)
-	d := out.Data()
+	l.out = ensureLike(l.out, main)
+	tensor.AddInto(l.out, main, skip)
+	d := l.out.Data()
 	if cap(l.reluMask) < len(d) {
 		l.reluMask = make([]bool, len(d))
 	}
@@ -273,24 +313,28 @@ func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			d[i] = 0
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	d := g.Data()
-	for i := range d {
-		if !l.reluMask[i] {
+	l.g = ensureLike(l.g, grad)
+	gd, d := grad.Data(), l.g.Data()
+	for i, v := range gd {
+		if l.reluMask[i] {
+			d[i] = v
+		} else {
 			d[i] = 0
 		}
 	}
-	dMain := l.Body.Backward(g)
-	dSkip := g
+	dMain := l.Body.Backward(l.g)
+	dSkip := l.g
 	if l.Shortcut != nil {
-		dSkip = l.Shortcut.Backward(g)
+		dSkip = l.Shortcut.Backward(l.g)
 	}
-	return tensor.Add(dMain, dSkip)
+	l.dx = ensureLike(l.dx, dMain)
+	tensor.AddInto(l.dx, dMain, dSkip)
+	return l.dx
 }
 
 // Params implements Layer.

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"pactrain/internal/par"
 	"pactrain/internal/tensor"
 )
 
@@ -23,6 +24,9 @@ type BatchNorm2D struct {
 	lastXHat   *tensor.Tensor
 	lastInvStd []float64
 	lastShape  []int
+
+	out *tensor.Tensor
+	dx  *tensor.Tensor
 }
 
 // NewBatchNorm2D constructs a batch-norm layer for c channels.
@@ -41,22 +45,38 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 	return bn
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Channels are fully independent (statistics,
+// running averages, and output planes are all per-channel), so the loop
+// chunks over channels with bit-identical results at any par budget.
 func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	l.lastShape = append(l.lastShape[:0], x.Shape()...)
 	area := h * w
-	cnt := float64(n * area)
-	out := tensor.New(n, c, h, w)
-	xhat := tensor.New(n, c, h, w)
+	l.out = ensure4(l.out, n, c, h, w)
+	l.lastXHat = ensureLike(l.lastXHat, x)
 	if cap(l.lastInvStd) < c {
 		l.lastInvStd = make([]float64, c)
 	}
 	l.lastInvStd = l.lastInvStd[:c]
-	xd, od, hd := x.Data(), out.Data(), xhat.Data()
-	gd, bd := l.Gamma.W.Data(), l.Beta.W.Data()
 
-	for ch := 0; ch < c; ch++ {
+	work := 2 * n * c * area
+	if par.PlanChunks(c, work) == 1 {
+		l.forwardChannels(x, train, n, area, 0, c)
+	} else {
+		par.ForChunksWork(c, work, func(_, lo, hi int) {
+			l.forwardChannels(x, train, n, area, lo, hi)
+		})
+	}
+	return l.out
+}
+
+// forwardChannels normalizes channels [lo,hi).
+func (l *BatchNorm2D) forwardChannels(x *tensor.Tensor, train bool, n, area, lo, hi int) {
+	c := l.lastShape[1]
+	cnt := float64(n * area)
+	xd, od, hd := x.Data(), l.out.Data(), l.lastXHat.Data()
+	gd, bd := l.Gamma.W.Data(), l.Beta.W.Data()
+	for ch := lo; ch < hi; ch++ {
 		var mean, variance float64
 		if train {
 			var s, sq float64
@@ -91,25 +111,41 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	l.lastXHat = xhat
-	return out
 }
 
 // Backward implements Layer. Uses the standard batch-norm gradient:
 //
 //	dx = (γ·invStd/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
+//
+// Like Forward, the loop chunks over channels: each channel's gamma/beta
+// gradient is a single += and its dx plane is disjoint from every other
+// channel's, so chunking is bit-exact.
 func (l *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c := l.lastShape[0], l.lastShape[1]
 	area := l.lastShape[2] * l.lastShape[3]
+	l.dx = ensure4(l.dx, l.lastShape[0], l.lastShape[1], l.lastShape[2], l.lastShape[3])
+
+	work := 2 * n * c * area
+	if par.PlanChunks(c, work) == 1 {
+		l.backwardChannels(grad, n, area, 0, c)
+	} else {
+		par.ForChunksWork(c, work, func(_, lo, hi int) {
+			l.backwardChannels(grad, n, area, lo, hi)
+		})
+	}
+	return l.dx
+}
+
+// backwardChannels computes gradients for channels [lo,hi).
+func (l *BatchNorm2D) backwardChannels(grad *tensor.Tensor, n, area, lo, hi int) {
+	c := l.lastShape[1]
 	m := float64(n * area)
-	dx := tensor.New(l.lastShape...)
 	gd := grad.Data()
 	hd := l.lastXHat.Data()
-	dd := dx.Data()
+	dd := l.dx.Data()
 	gg, gb := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
 	gw := l.Gamma.W.Data()
-
-	for ch := 0; ch < c; ch++ {
+	for ch := lo; ch < hi; ch++ {
 		var sumDy, sumDyXhat float64
 		for img := 0; img < n; img++ {
 			off := (img*c + ch) * area
@@ -131,7 +167,6 @@ func (l *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return dx
 }
 
 // Params implements Layer.
@@ -147,6 +182,9 @@ type LayerNorm struct {
 	lastXHat   *tensor.Tensor
 	lastInvStd []float64
 	lastShape  []int
+
+	out *tensor.Tensor
+	dx  *tensor.Tensor
 }
 
 // NewLayerNorm constructs a layer norm over dimension d.
@@ -158,20 +196,35 @@ func NewLayerNorm(name string, d int) *LayerNorm {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Rows are independent (gamma/beta are read-only
+// here), so the loop chunks over rows bit-exactly.
 func (l *LayerNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	d := x.Dim(x.Rank() - 1)
 	rows := x.Len() / d
 	l.lastShape = append(l.lastShape[:0], x.Shape()...)
-	out := tensor.New(x.Shape()...)
-	xhat := tensor.New(x.Shape()...)
+	l.out = ensureLike(l.out, x)
+	l.lastXHat = ensureLike(l.lastXHat, x)
 	if cap(l.lastInvStd) < rows {
 		l.lastInvStd = make([]float64, rows)
 	}
 	l.lastInvStd = l.lastInvStd[:rows]
-	xd, od, hd := x.Data(), out.Data(), xhat.Data()
+
+	work := x.Len()
+	if par.PlanChunks(rows, work) == 1 {
+		l.forwardRows(x, d, 0, rows)
+	} else {
+		par.ForChunksWork(rows, work, func(_, lo, hi int) {
+			l.forwardRows(x, d, lo, hi)
+		})
+	}
+	return l.out
+}
+
+// forwardRows normalizes rows [lo,hi).
+func (l *LayerNorm) forwardRows(x *tensor.Tensor, d, lo, hi int) {
+	xd, od, hd := x.Data(), l.out.Data(), l.lastXHat.Data()
 	gd, bd := l.Gamma.W.Data(), l.Beta.W.Data()
-	for r := 0; r < rows; r++ {
+	for r := lo; r < hi; r++ {
 		row := xd[r*d : (r+1)*d]
 		var s, sq float64
 		for _, v := range row {
@@ -192,25 +245,52 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			od[r*d+i] = gd[i]*xh + bd[i]
 		}
 	}
-	l.lastXHat = xhat
-	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The dx rows are independent and chunk over the
+// par budget; the gamma/beta gradients accumulate across rows, so they are
+// folded in a separate serial pass that visits rows in ascending order —
+// exactly the scalar accumulation sequence, keeping results bit-identical at
+// any budget.
 func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	d := l.lastShape[len(l.lastShape)-1]
 	rows := 1
 	for _, s := range l.lastShape[:len(l.lastShape)-1] {
 		rows *= s
 	}
-	dx := tensor.New(l.lastShape...)
+	l.dx = ensureLike(l.dx, grad)
+
+	work := rows * d
+	if par.PlanChunks(rows, work) == 1 {
+		l.backwardRows(grad, d, 0, rows)
+	} else {
+		par.ForChunksWork(rows, work, func(_, lo, hi int) {
+			l.backwardRows(grad, d, lo, hi)
+		})
+	}
+
+	// Serial fold: gamma/beta gradients in ascending row order.
 	gd := grad.Data()
 	hd := l.lastXHat.Data()
-	dd := dx.Data()
 	gg, gb := l.Gamma.Grad.Data(), l.Beta.Grad.Data()
+	for r := 0; r < rows; r++ {
+		for i := 0; i < d; i++ {
+			dy := float64(gd[r*d+i])
+			gg[i] += float32(dy * float64(hd[r*d+i]))
+			gb[i] += float32(dy)
+		}
+	}
+	return l.dx
+}
+
+// backwardRows computes dx rows [lo,hi).
+func (l *LayerNorm) backwardRows(grad *tensor.Tensor, d, lo, hi int) {
+	gd := grad.Data()
+	hd := l.lastXHat.Data()
+	dd := l.dx.Data()
 	gw := l.Gamma.W.Data()
 	df := float64(d)
-	for r := 0; r < rows; r++ {
+	for r := lo; r < hi; r++ {
 		var sumDy, sumDyXhat float64
 		for i := 0; i < d; i++ {
 			dy := float64(gd[r*d+i]) * float64(gw[i])
@@ -219,14 +299,11 @@ func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 		for i := 0; i < d; i++ {
 			dy := float64(gd[r*d+i])
-			gg[i] += float32(dy * float64(hd[r*d+i]))
-			gb[i] += float32(dy)
 			dyg := dy * float64(gw[i])
 			xh := float64(hd[r*d+i])
 			dd[r*d+i] = float32(l.lastInvStd[r] / df * (df*dyg - sumDy - xh*sumDyXhat))
 		}
 	}
-	return dx
 }
 
 // Params implements Layer.

@@ -1,15 +1,29 @@
 // Package par is the process-wide data-parallel worker budget shared by the
-// simulator's hot kernels (internal/compress, internal/collective). It
-// exists so goroutine-level parallelism inside a kernel composes with the
-// job-level parallelism of the experiment engine instead of multiplying
-// against it: the engine sizes the budget to GOMAXPROCS divided by its
-// concurrent-job count, and every kernel chunks against that single number.
+// simulator's hot kernels (internal/compress, internal/collective) and, since
+// the model-compute work, the tensor/nn training kernels. It exists so
+// goroutine-level parallelism inside a kernel composes with the job-level
+// parallelism of the experiment engine and the trainer's per-rank goroutines
+// instead of multiplying against them: the engine sizes the budget to
+// GOMAXPROCS divided by its concurrent-job count, and every kernel chunks
+// against that single number.
 //
 // Chunk boundaries are never allowed to influence results — callers may only
 // parallelize loops whose iterations are independent (elementwise maps,
-// gathers/scatters over disjoint indices) or whose reduction is exactly
-// associative (float max). That is what keeps parallel runs bit-identical to
-// scalar runs, the repo-wide reproducibility contract.
+// gathers/scatters over disjoint indices, output-row partitions of a matmul)
+// or whose reduction is exactly associative (float max). That is what keeps
+// parallel runs bit-identical to scalar runs, the repo-wide reproducibility
+// contract.
+//
+// Nested-dispatch policy: a chunk function may itself call For/ForChunks
+// (an attention layer parallelized over samples calls matmul kernels that
+// chunk over rows). A dispatch issued from a pool worker runs entirely
+// inline on that worker — the partition is identical, only the placement
+// changes — so workers never block feeding or waiting on the queue and the
+// pool cannot deadlock or oversubscribe regardless of how rank goroutines ×
+// engine jobs × kernels stack. Dispatches from non-worker goroutines that
+// find the queue full likewise fall back to running the chunk inline, which
+// keeps every caller wait-free except for joining chunks that workers are
+// guaranteed to drain.
 package par
 
 import (
@@ -18,8 +32,9 @@ import (
 	"sync/atomic"
 )
 
-// MinWork is the element count below which a chunked dispatch costs more in
-// scheduling than it saves in compute; smaller loops run inline.
+// MinWork is the scalar work (element count, or an explicit estimate via
+// ForChunksWork) below which a chunked dispatch costs more in scheduling
+// than it saves in compute; smaller loops run inline.
 const MinWork = 8192
 
 var budget atomic.Int64
@@ -42,18 +57,21 @@ func Budget() int { return int(budget.Load()) }
 
 // pool is a fixed set of worker goroutines sized once to GOMAXPROCS; For
 // feeds it chunks. A persistent pool keeps steady-state iterations free of
-// goroutine churn. Chunk functions must not call For themselves: a nested
-// dispatch from inside a worker could leave every worker waiting on work
-// only workers can drain.
+// goroutine churn.
 var (
 	poolOnce sync.Once
 	poolCh   chan poolTask
+	// workerIDs holds the goroutine ids of the pool workers, so a dispatch
+	// can detect that it is nested inside a chunk function and run inline.
+	workerIDs sync.Map // uint64 → struct{}
 )
 
 type poolTask struct {
-	fn     func(lo, hi int)
-	lo, hi int
-	wg     *sync.WaitGroup
+	// fn is the dispatch's chunk function itself (not a per-chunk closure),
+	// so enqueueing c chunks allocates once per dispatch, not once per chunk.
+	fn            func(chunk, lo, hi int)
+	chunk, lo, hi int
+	wg            *sync.WaitGroup
 }
 
 func ensurePool() {
@@ -62,8 +80,9 @@ func ensurePool() {
 		poolCh = make(chan poolTask, 4*workers)
 		for i := 0; i < workers; i++ {
 			go func() {
+				workerIDs.Store(goid(), struct{}{})
 				for t := range poolCh {
-					t.fn(t.lo, t.hi)
+					t.fn(t.chunk, t.lo, t.hi)
 					t.wg.Done()
 				}
 			}()
@@ -71,22 +90,53 @@ func ensurePool() {
 	})
 }
 
-// chunks returns how many contiguous ranges For splits n items into under
-// the current budget: at most Budget(), and never so many that chunks drop
-// below MinWork/2 elements.
-func chunks(n int) int {
+// goid parses the current goroutine's id from its stack header
+// ("goroutine N [...]"). It costs well under a microsecond with a tiny
+// truncated stack buffer, paid once per chunked dispatch — negligible next
+// to the ≥MinWork of compute a dispatch covers.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	const header = len("goroutine ")
+	var id uint64
+	for _, c := range buf[header:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// chunksFor returns how many contiguous ranges a dispatch splits n items of
+// the given total scalar work into under the current budget: at most
+// Budget(), never so many that chunks drop below MinWork/2 work, and never
+// more than n. It is a pure function of (n, work, Budget()), which is what
+// keeps chunk partitions — and therefore any per-chunk partial folds —
+// deterministic at a fixed budget.
+func chunksFor(n, work int) int {
 	w := Budget()
-	if w <= 1 || n < MinWork {
+	if w <= 1 || work < MinWork || n <= 1 {
 		return 1
 	}
-	if max := n / (MinWork / 2); w > max {
+	if max := work / (MinWork / 2); w > max {
 		w = max
+	}
+	if w > n {
+		w = n
 	}
 	if w < 1 {
 		w = 1
 	}
 	return w
 }
+
+// PlanChunks reports how many chunks ForChunksWork(n, work, ·) would use at
+// the current budget. Kernels call it to take an allocation-free scalar
+// path when the answer is 1: passing a closure to ForChunksWork forces the
+// closure to the heap even when it ends up running inline, and the budget-1
+// train step is required to be allocation-free in steady state.
+func PlanChunks(n, work int) int { return chunksFor(n, work) }
 
 // For runs fn over [0, n) split into contiguous chunks executed on the
 // worker pool. fn(lo, hi) must treat its iterations as independent of every
@@ -101,7 +151,19 @@ func For(n int, fn func(lo, hi int)) {
 // number of chunks used; fn is called exactly once per chunk with ordinals
 // 0..chunks-1 covering [0, n) in order.
 func ForChunks(n int, fn func(chunk, lo, hi int)) int {
-	c := chunks(n)
+	return dispatch(n, chunksFor(n, n), fn)
+}
+
+// ForChunksWork is ForChunks with an explicit scalar-work estimate for the
+// inline/chunk-count decision, for loops whose items are coarser than one
+// element: matmul output rows (k·n flops each), im2col receptive-field rows,
+// image planes, attention samples. n still bounds the chunk count; work
+// only gates dispatch and granularity.
+func ForChunksWork(n, work int, fn func(chunk, lo, hi int)) int {
+	return dispatch(n, chunksFor(n, work), fn)
+}
+
+func dispatch(n, c int, fn func(chunk, lo, hi int)) int {
 	if c == 1 {
 		if n > 0 {
 			fn(0, 0, n)
@@ -110,6 +172,19 @@ func ForChunks(n int, fn func(chunk, lo, hi int)) int {
 	}
 	ensurePool()
 	size := (n + c - 1) / c
+	if _, nested := workerIDs.Load(goid()); nested {
+		// Nested dispatch (a chunk function called a kernel): same
+		// partition, executed inline on this worker. See the package comment.
+		for i := 0; i < c; i++ {
+			lo := i * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			fn(i, lo, hi)
+		}
+		return c
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < c-1; i++ {
 		lo := i * size
@@ -117,9 +192,17 @@ func ForChunks(n int, fn func(chunk, lo, hi int)) int {
 		if hi > n {
 			hi = n
 		}
+		// Add before the send: a worker may run the task and Done it before
+		// a post-send Add would execute.
 		wg.Add(1)
-		chunk := i
-		poolCh <- poolTask{fn: func(lo, hi int) { fn(chunk, lo, hi) }, lo: lo, hi: hi, wg: &wg}
+		select {
+		case poolCh <- poolTask{fn: fn, chunk: i, lo: lo, hi: hi, wg: &wg}:
+		default:
+			// Queue full (many rank goroutines dispatching at once): run the
+			// chunk here rather than block the caller on the pool.
+			fn(i, lo, hi)
+			wg.Done()
+		}
 	}
 	// The caller's goroutine does the final chunk instead of idling at the
 	// WaitGroup.

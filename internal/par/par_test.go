@@ -74,3 +74,79 @@ func TestSetBudgetClampsToOne(t *testing.T) {
 		t.Fatalf("budget 1 produced %d chunks", c)
 	}
 }
+
+func TestForChunksWorkGatesOnWorkNotItems(t *testing.T) {
+	defer SetBudget(Budget())
+	SetBudget(8)
+	// Few items but heavy per-item work: chunk count is bounded by items.
+	if c := ForChunksWork(4, MinWork*100, func(chunk, lo, hi int) {}); c != 4 {
+		t.Fatalf("4 heavy items split into %d chunks, want 4", c)
+	}
+	// Many items but sub-MinWork total work: stays inline.
+	if c := ForChunksWork(MinWork*4, MinWork-1, func(chunk, lo, hi int) {}); c != 1 {
+		t.Fatalf("light loop split into %d chunks, want 1", c)
+	}
+	// PlanChunks agrees with the dispatch decision.
+	if p, c := PlanChunks(MinWork*4, MinWork*4), ForChunks(MinWork*4, func(chunk, lo, hi int) {}); p != c {
+		t.Fatalf("PlanChunks %d != ForChunks %d", p, c)
+	}
+}
+
+func TestNestedDispatchRunsInlineAndCoversRange(t *testing.T) {
+	defer SetBudget(Budget())
+	SetBudget(8)
+	outer := MinWork * 2
+	inner := MinWork * 2
+	hits := make([]int32, inner)
+	var nestedChunks int32
+	// Outer dispatch lands on pool workers; the nested dispatch inside each
+	// chunk must use the identical partition and complete without deadlock.
+	For(outer, func(lo, hi int) {
+		c := ForChunks(inner, func(chunk, lo2, hi2 int) {
+			for i := lo2; i < hi2; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		atomic.StoreInt32(&nestedChunks, int32(c))
+	})
+	// Every outer chunk ran the nested loop once over the full range.
+	outerChunks := PlanChunks(outer, outer)
+	for i, h := range hits {
+		if int(h) != outerChunks {
+			t.Fatalf("index %d visited %d times, want %d", i, h, outerChunks)
+		}
+	}
+	// The nested partition matches the non-nested plan at the same budget.
+	if want := PlanChunks(inner, inner); int(nestedChunks) != want {
+		t.Fatalf("nested dispatch used %d chunks, plan says %d", nestedChunks, want)
+	}
+}
+
+func TestConcurrentDispatchesDrainWithoutDeadlock(t *testing.T) {
+	defer SetBudget(Budget())
+	SetBudget(8)
+	// More concurrent dispatchers than pool workers forces the queue-full
+	// inline fallback on a small machine and exercises the pool under
+	// contention everywhere else.
+	const dispatchers = 16
+	var total atomic.Int64
+	done := make(chan struct{})
+	for d := 0; d < dispatchers; d++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			For(MinWork*4, func(lo, hi int) {
+				var local int64
+				for i := lo; i < hi; i++ {
+					local++
+				}
+				total.Add(local)
+			})
+		}()
+	}
+	for d := 0; d < dispatchers; d++ {
+		<-done
+	}
+	if got, want := total.Load(), int64(dispatchers*MinWork*4); got != want {
+		t.Fatalf("covered %d iterations, want %d", got, want)
+	}
+}

@@ -1,5 +1,11 @@
 package tensor
 
+import (
+	"fmt"
+
+	"pactrain/internal/par"
+)
+
 // Im2Col lowers a batched image tensor into a matrix so that convolution
 // becomes a single matrix multiplication, the standard approach used by
 // CPU/GPU deep-learning kernels.
@@ -13,38 +19,70 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
 	cols := New(n*outH*outW, c*kh*kw)
-	xd, cd := x.data, cols.data
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a caller-owned (N*outH*outW, C*kh*kw)
+// matrix, so conv layers can reuse the (large) column buffer across steps.
+// dst is fully overwritten; padding positions are re-zeroed.
+//
+// Each output row is an independent gather from x, so the kernel chunks rows
+// over the par budget with bit-identical results at any budget.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	rows, rowLen := n*outH*outW, c*kh*kw
+	if dst.Rank() != 2 || dst.shape[0] != rows || dst.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst%v, want [%d %d] for x%v k=%dx%d stride=%d pad=%d",
+			dst.shape, rows, rowLen, x.shape, kh, kw, stride, pad))
+	}
+	if par.PlanChunks(rows, rows*rowLen) == 1 {
+		im2colRows(dst.data, x.data, c, h, w, outH, outW, kh, kw, stride, pad, 0, rows)
+		return
+	}
+	cd, xd := dst.data, x.data
+	par.ForChunksWork(rows, rows*rowLen, func(_, lo, hi int) {
+		im2colRows(cd, xd, c, h, w, outH, outW, kh, kw, stride, pad, lo, hi)
+	})
+}
+
+// im2colRows fills column-matrix rows [lo,hi), zeroing each row first so
+// padding positions read zero even when the buffer is reused.
+func im2colRows(cd, xd []float32, c, h, w, outH, outW, kh, kw, stride, pad, lo, hi int) {
 	rowLen := c * kh * kw
-	for img := 0; img < n; img++ {
+	for r := lo; r < hi; r++ {
+		row := r * rowLen
+		for i := row; i < row+rowLen; i++ {
+			cd[i] = 0
+		}
+		ox := r % outW
+		oy := (r / outW) % outH
+		img := r / (outW * outH)
 		base := img * c * h * w
-		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := ((img*outH+oy)*outW + ox) * rowLen
-				iy0 := oy*stride - pad
-				ix0 := ox*stride - pad
-				for ch := 0; ch < c; ch++ {
-					chBase := base + ch*h*w
-					colBase := row + ch*kh*kw
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue // row stays zero (padding)
-						}
-						srcRow := chBase + iy*w
-						dstRow := colBase + ky*kw
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							cd[dstRow+kx] = xd[srcRow+ix]
-						}
+		iy0 := oy*stride - pad
+		ix0 := ox*stride - pad
+		for ch := 0; ch < c; ch++ {
+			chBase := base + ch*h*w
+			colBase := row + ch*kh*kw
+			for ky := 0; ky < kh; ky++ {
+				iy := iy0 + ky
+				if iy < 0 || iy >= h {
+					continue // row stays zero (padding)
+				}
+				srcRow := chBase + iy*w
+				dstRow := colBase + ky*kw
+				for kx := 0; kx < kw; kx++ {
+					ix := ix0 + kx
+					if ix < 0 || ix >= w {
+						continue
 					}
+					cd[dstRow+kx] = xd[srcRow+ix]
 				}
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters (accumulates) a column matrix
@@ -52,41 +90,75 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 // (N, C, H, W). Overlapping receptive fields sum, which is exactly the
 // gradient of Im2Col, so Conv2D backward can reuse it directly.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	img := New(n, c, h, w)
+	Col2ImInto(img, cols, kh, kw, stride, pad)
+	return img
+}
+
+// Col2ImInto is Col2Im writing into a caller-owned (N, C, H, W) tensor,
+// which is zeroed before accumulation.
+//
+// The scatter chunks over (image, channel) planes: every destination pixel
+// lives in exactly one plane, and within a plane its overlapping
+// contributions still arrive in ascending (oy, ox, ky, kx) order — the same
+// float addition sequence as the scalar kernel — so results are
+// bit-identical at any par budget.
+func Col2ImInto(dst, cols *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
-	img := New(n, c, h, w)
-	cd, xd := cols.data, img.data
+	rows, rowLen := n*outH*outW, c*kh*kw
+	if cols.Rank() != 2 || cols.shape[0] != rows || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2ImInto cols%v, want [%d %d] for dst%v k=%dx%d stride=%d pad=%d",
+			cols.shape, rows, rowLen, dst.shape, kh, kw, stride, pad))
+	}
+	planes := n * c
+	work := rows * rowLen
+	if par.PlanChunks(planes, work) == 1 {
+		col2imPlanes(dst.data, cols.data, c, h, w, outH, outW, kh, kw, stride, pad, 0, planes)
+		return
+	}
+	xd, cd := dst.data, cols.data
+	par.ForChunksWork(planes, work, func(_, lo, hi int) {
+		col2imPlanes(xd, cd, c, h, w, outH, outW, kh, kw, stride, pad, lo, hi)
+	})
+}
+
+// col2imPlanes accumulates column-matrix contributions into (image, channel)
+// planes [lo,hi) of the output, zeroing each plane first.
+func col2imPlanes(xd, cd []float32, c, h, w, outH, outW, kh, kw, stride, pad, lo, hi int) {
 	rowLen := c * kh * kw
-	for im := 0; im < n; im++ {
-		base := im * c * h * w
+	for plane := lo; plane < hi; plane++ {
+		im := plane / c
+		ch := plane % c
+		chBase := (im*c + ch) * h * w
+		for i := chBase; i < chBase+h*w; i++ {
+			xd[i] = 0
+		}
 		for oy := 0; oy < outH; oy++ {
 			for ox := 0; ox < outW; ox++ {
 				row := ((im*outH+oy)*outW + ox) * rowLen
 				iy0 := oy*stride - pad
 				ix0 := ox*stride - pad
-				for ch := 0; ch < c; ch++ {
-					chBase := base + ch*h*w
-					colBase := row + ch*kh*kw
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
+				colBase := row + ch*kh*kw
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					dstRow := chBase + iy*w
+					srcRow := colBase + ky*kw
+					for kx := 0; kx < kw; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= w {
 							continue
 						}
-						dstRow := chBase + iy*w
-						srcRow := colBase + ky*kw
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							xd[dstRow+ix] += cd[srcRow+kx]
-						}
+						xd[dstRow+ix] += cd[srcRow+kx]
 					}
 				}
 			}
 		}
 	}
-	return img
 }
 
 // ConvOutSize returns the spatial output size of a convolution or pooling

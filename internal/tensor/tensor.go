@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"pactrain/internal/par"
 )
 
 // Tensor is a dense, row-major float32 tensor. The zero value is not usable;
@@ -131,6 +133,17 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.data), shape))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Rebind repoints the tensor at data without copying; len(data) must equal
+// the tensor's volume. It exists so reusable view headers (e.g. per-sample
+// slices of a batch tensor) can be retargeted across train steps without
+// allocating a new header per view.
+func (t *Tensor) Rebind(data []float32) {
+	if len(data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: Rebind length %d does not match shape %v", len(data), t.shape))
+	}
+	t.data = data
 }
 
 // Zero sets every element to zero in place.
@@ -395,18 +408,43 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// checkMatMulShapes panics with the offending shapes when dst/a/b are not a
+// valid (m,n) = (m,k) × (k,n) triple after the requested transpositions.
+func checkMatMulShapes(op string, dst, a, b *Tensor, m, k, k2, n int) {
+	if dst.Rank() != 2 || a.Rank() != 2 || b.Rank() != 2 || k != k2 ||
+		dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s shape mismatch: dst%v, a%v, b%v", op, dst.shape, a.shape, b.shape))
+	}
+}
+
 // MatMulInto computes dst = A × B, accumulating into a zeroed dst. dst must
 // have shape (m,n).
+//
+// The kernel is chunked over output rows via the par budget: each output
+// element is still the ascending-p sum of a[i,p]·b[p,j] (with the a==0 skip),
+// so results are bit-identical at every budget.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
-	if dst.shape[0] != m || dst.shape[1] != n {
-		panic("tensor: MatMulInto shape mismatch")
+	checkMatMulShapes("MatMulInto", dst, a, b, m, k, b.shape[0], n)
+	if par.PlanChunks(m, m*k*n) == 1 {
+		matMulRows(dst.data, a.data, b.data, k, n, 0, m)
+		return
 	}
-	dst.Zero()
 	ad, bd, cd := a.data, b.data, dst.data
-	for i := 0; i < m; i++ {
+	par.ForChunksWork(m, m*k*n, func(_, lo, hi int) {
+		matMulRows(cd, ad, bd, k, n, lo, hi)
+	})
+}
+
+// matMulRows computes output rows [lo,hi) of C = A × B, zeroing them first.
+// Rows are disjoint between chunks, so chunking is bit-exact by construction.
+func matMulRows(cd, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ci := cd[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
 		for p := 0; p < k; p++ {
 			av := ad[i*k+p]
 			if av == 0 {
@@ -422,18 +460,40 @@ func MatMulInto(dst, a, b *Tensor) {
 
 // MatMulTransAInto computes dst = Aᵀ × B for A of shape (k,m) and B of shape
 // (k,n); dst must be (m,n). Used by Linear backward for weight gradients.
+//
+// Chunking is over output rows i (columns of A) with the p-loop kept outer
+// and ascending inside each chunk, so every dst element accumulates its
+// a[p,i]·b[p,j] terms in exactly the scalar order. Splitting the p-loop into
+// per-chunk partial sums instead would change float association and break
+// the byte-identity contract.
 func MatMulTransAInto(dst, a, b *Tensor) {
 	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic("tensor: MatMulTransAInto shape mismatch")
+	n := b.shape[1]
+	checkMatMulShapes("MatMulTransAInto", dst, a, b, m, k, b.shape[0], n)
+	if par.PlanChunks(m, m*k*n) == 1 {
+		matMulTransARows(dst.data, a.data, b.data, k, m, n, 0, m)
+		return
 	}
-	dst.Zero()
 	ad, bd, cd := a.data, b.data, dst.data
+	par.ForChunksWork(m, m*k*n, func(_, lo, hi int) {
+		matMulTransARows(cd, ad, bd, k, m, n, lo, hi)
+	})
+}
+
+// matMulTransARows computes output rows [lo,hi) of C = Aᵀ × B, zeroing them
+// first. lo=0, hi=m is exactly the scalar kernel.
+func matMulTransARows(cd, ad, bd []float32, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
 	for p := 0; p < k; p++ {
 		ap := ad[p*m : (p+1)*m]
 		bp := bd[p*n : (p+1)*n]
-		for i, av := range ap {
+		for i := lo; i < hi; i++ {
+			av := ap[i]
 			if av == 0 {
 				continue
 			}
@@ -447,18 +507,50 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 
 // MatMulTransBInto computes dst = A × Bᵀ for A of shape (m,k) and B of shape
 // (n,k); dst must be (m,n). Used by Linear backward for input gradients.
+//
+// The inner kernel register-blocks four B rows (output columns) per pass:
+// each of the four accumulators is still a plain ascending-p dot product, so
+// the blocking does not change any element's float evaluation order.
 func MatMulTransBInto(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic("tensor: MatMulTransBInto shape mismatch")
+	n := b.shape[0]
+	checkMatMulShapes("MatMulTransBInto", dst, a, b, m, k, b.shape[1], n)
+	if par.PlanChunks(m, m*k*n) == 1 {
+		matMulTransBRows(dst.data, a.data, b.data, k, n, 0, m)
+		return
 	}
-	dst.Zero()
 	ad, bd, cd := a.data, b.data, dst.data
-	for i := 0; i < m; i++ {
+	par.ForChunksWork(m, m*k*n, func(_, lo, hi int) {
+		matMulTransBRows(cd, ad, bd, k, n, lo, hi)
+	})
+}
+
+// matMulTransBRows computes output rows [lo,hi) of C = A × Bᵀ. Each output
+// element is an independent dot product, so rows need no zeroing and chunking
+// is trivially bit-exact.
+func matMulTransBRows(cd, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ai := ad[i*k : (i+1)*k]
 		ci := cd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := bd[j*k : (j+1)*k]
+			b1 := bd[(j+1)*k : (j+2)*k]
+			b2 := bd[(j+2)*k : (j+3)*k]
+			b3 := bd[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			ci[j] = s0
+			ci[j+1] = s1
+			ci[j+2] = s2
+			ci[j+3] = s3
+		}
+		for ; j < n; j++ {
 			bj := bd[j*k : (j+1)*k]
 			var s float32
 			for p, av := range ai {
