@@ -24,6 +24,8 @@
 //	pactrain-bench -exp all -cpuprofile cpu.pprof   # profile a run
 //	pactrain-bench -exp stragglers -quick -trace trace.json -trace-summary
 //	                                      # per-rank Perfetto timeline
+//	pactrain-bench -exp adaptive -quick -audit audit.json -audit-summary
+//	                                      # counterfactual regret ledger
 //
 // Full-fidelity runs train the four lite-twin models for 12 epochs each and
 // take minutes of wall time; -quick substitutes the MLP twin and finishes
@@ -72,6 +74,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every traced run to this file (open in Perfetto)")
 	traceSummary := flag.Bool("trace-summary", false, "print the per-span aggregate of the collected trace to stderr (requires -trace)")
 	validateTrace := flag.Bool("validate-trace", false, "structurally validate the written trace file; exit non-zero on failure (requires -trace)")
+	auditPath := flag.String("audit", "", "write the counterfactual audit ledger (controller regret + cost-model calibration) as JSON to this file")
+	auditSummary := flag.Bool("audit-summary", false, "print the regret/calibration/switch tables of the collected audit to stderr (requires -audit)")
+	auditStaleness := flag.Float64("audit-staleness", 0, "age the audit's bandwidth observations by this many seconds to probe calibration drift (requires -audit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -167,6 +172,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pactrain-bench: -trace-summary and -validate-trace require -trace\n")
 		exit(2)
 	}
+	var auditor *pactrain.Auditor
+	if *auditPath != "" {
+		auditor = pactrain.NewAuditor()
+		opt.Auditor = auditor
+		opt.AuditStaleness = *auditStaleness
+	} else if *auditSummary || *auditStaleness != 0 {
+		fmt.Fprintf(os.Stderr, "pactrain-bench: -audit-summary and -audit-staleness require -audit\n")
+		exit(2)
+	}
 	// One engine for the whole invocation: experiments share trained runs.
 	eng := pactrain.NewExperimentEngine(opt)
 	opt.Engine = eng
@@ -218,6 +232,19 @@ func main() {
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "trace: %s validates\n", *tracePath)
 			}
+		}
+	}
+	if auditor != nil {
+		reports := auditor.Reports()
+		if err := pactrain.WriteAuditReports(*auditPath, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-bench: %v\n", err)
+			exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "audit: %d ledgers -> %s\n", len(reports), *auditPath)
+		}
+		if *auditSummary {
+			fmt.Fprint(os.Stderr, pactrain.AuditSummary(reports))
 		}
 	}
 }

@@ -13,6 +13,7 @@
 //	     -d '{"experiment":"fig3","quick":true}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -s localhost:8080/v1/jobs/j000001/result
+//	curl -s localhost:8080/v1/jobs/j000001/audit    # counterfactual ledgers
 //	curl -sN localhost:8080/v1/jobs/j000001/events   # live SSE stream
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
@@ -20,6 +21,9 @@
 // -log-format json switches the process log to one JSON object per
 // observable event (job transitions, engine activity, trainer heartbeats) —
 // the same schema the SSE stream's data frames carry.
+//
+// -pprof additionally exposes net/http/pprof under /debug/pprof/ for live
+// CPU/heap profiling of the serving process; it is off by default.
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions are rejected
 // (healthz flips to 503 so load balancers stop routing), accepted jobs
@@ -52,6 +56,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Minute, "how long shutdown waits for accepted jobs")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	logFormat := flag.String("log-format", "text", "log shape: text (human lines) or json (one event object per line, the SSE payload schema)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	if *logFormat != "text" && *logFormat != "json" {
@@ -77,6 +82,7 @@ func main() {
 		HistoryLimit: *history,
 		Log:          logw,
 		LogFormat:    *logFormat,
+		PProf:        *pprofFlag,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pactrain-serve: %v\n", err)

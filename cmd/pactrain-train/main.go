@@ -11,6 +11,7 @@
 //	pactrain-train -scheme adaptive -adapt-margin 0.1 -adapt-candidates mask-compact-ternary,index-list
 //	pactrain-train -overlap backward -straggler 2 -jitter 0.1   # per-rank timelines
 //	pactrain-train -scheme pactrain-ternary -trace run.json -trace-summary
+//	pactrain-train -scheme adaptive -audit audit.json -audit-summary
 package main
 
 import (
@@ -71,6 +72,9 @@ func main() {
 	adaptCandidates := flag.String("adapt-candidates", "", "adaptive scheme: comma-separated candidate formats (empty = all)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
 	traceSummary := flag.Bool("trace-summary", false, "print the per-span aggregate of the collected trace to stderr (requires -trace)")
+	auditPath := flag.String("audit", "", "write the run's counterfactual audit ledger (controller regret + cost-model calibration) as JSON to this file")
+	auditSummary := flag.Bool("audit-summary", false, "print the regret/calibration/switch tables of the audit to stderr (requires -audit)")
+	auditStaleness := flag.Float64("audit-staleness", 0, "age the audit's bandwidth observations by this many seconds to probe calibration drift (requires -audit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	kernelParallel := flag.Int("kernel-parallel", runtime.GOMAXPROCS(0),
@@ -138,6 +142,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pactrain-train: -trace-summary requires -trace\n")
 		os.Exit(2)
 	}
+	if (*auditSummary || *auditStaleness != 0) && *auditPath == "" {
+		fmt.Fprintf(os.Stderr, "pactrain-train: -audit-summary and -audit-staleness require -audit\n")
+		os.Exit(2)
+	}
 
 	res, err := pactrain.Train(cfg)
 	if err != nil {
@@ -155,6 +163,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace: %s\n", *tracePath)
 		if *traceSummary {
 			fmt.Fprint(os.Stderr, pactrain.TraceSummary(tracer))
+		}
+	}
+
+	if *auditPath != "" {
+		rep, err := pactrain.AuditRun(fmt.Sprintf("%s %s", res.Model, res.Scheme), cfg, res,
+			pactrain.AuditOptions{StalenessSec: *auditStaleness, IncludeRounds: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
+			os.Exit(1)
+		}
+		if rep.DecidedRounds == 0 {
+			fmt.Fprintf(os.Stderr, "audit: no controller decisions to ledger (scheme %q is static)\n", res.Scheme)
+		}
+		if err := pactrain.WriteAuditReports(*auditPath, []*pactrain.AuditReport{rep}); err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-train: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "audit: %s\n", *auditPath)
+		if *auditSummary {
+			fmt.Fprint(os.Stderr, rep.Render())
 		}
 	}
 

@@ -228,3 +228,35 @@ func TestRegretBound(t *testing.T) {
 		t.Fatal("zero margin must take the default")
 	}
 }
+
+// TestDecisionQuotesRestrictedCandidates pins the ledger discipline the
+// audit layer depends on: with a restricted candidate set, Decide quotes
+// exactly the configured candidates — no phantom formats — in canonical
+// order, and each quote equals PriceQuotes' price of that format.
+func TestDecisionQuotesRestrictedCandidates(t *testing.T) {
+	t.Parallel()
+	ctrl := newTestController(t, 1, 0.05, 10)
+	fabric, hosts := wanFabric(10)
+	want := []string{FormatCompactTernary, FormatIndexList}
+	for round := 0; round < 4; round++ {
+		at := float64(round)
+		d := ctrl.Decide(0, testElems, testNNZ, at)
+		if len(d.Quotes) != len(want) {
+			t.Fatalf("round %d: %d quotes for %d candidates: %+v", round, len(d.Quotes), len(want), d.Quotes)
+		}
+		ref := PriceQuotes(collective.MustAlgorithm("ring"), fabric.PricingClone(), hosts,
+			testScale, want, testElems, testNNZ, at)
+		for i, q := range d.Quotes {
+			if q.Format != want[i] {
+				t.Fatalf("round %d quote %d is %q, want %q (canonical order)", round, i, q.Format, want[i])
+			}
+			if q.CostSeconds != ref[i].CostSeconds {
+				t.Fatalf("round %d %s: decision quote %v != PriceQuotes %v",
+					round, q.Format, q.CostSeconds, ref[i].CostSeconds)
+			}
+		}
+		if d.Format == FormatDense || d.Format == FormatCompact {
+			t.Fatalf("round %d picked %q, outside the candidate set", round, d.Format)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Collector accumulates the audit reports of an experiment grid. It is safe
+// for concurrent use, but the harness feeds it from the single assembly
+// goroutine in submission order, so the collected sequence — and the
+// serialized artifact — is deterministic at any engine parallelism.
+// Identical runs (same config fingerprint) audited under several labels are
+// kept once, under the first label, like the tracer's per-run dedup.
+type Collector struct {
+	mu      sync.Mutex
+	seen    map[string]bool
+	reports []*Report
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{seen: make(map[string]bool)}
+}
+
+// Add appends a report and reports whether it was kept; nil reports and
+// fingerprint repeats are dropped.
+func (c *Collector) Add(r *Report) bool {
+	if c == nil || r == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen[r.Fingerprint] {
+		return false
+	}
+	c.seen[r.Fingerprint] = true
+	c.reports = append(c.reports, r)
+	return true
+}
+
+// Reports snapshots the collected reports in collection order.
+func (c *Collector) Reports() []*Report {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Report, len(c.reports))
+	copy(out, c.reports)
+	return out
+}
+
+// MarshalReports serializes reports as an indented JSON array — the audit
+// artifact format (one element per audited run, deterministic order).
+func MarshalReports(reports []*Report) ([]byte, error) {
+	if reports == nil {
+		reports = []*Report{}
+	}
+	raw, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("audit: marshal reports: %w", err)
+	}
+	return append(raw, '\n'), nil
+}
+
+// WriteReports writes the audit artifact to path.
+func WriteReports(path string, reports []*Report) error {
+	raw, err := MarshalReports(reports)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("audit: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"pactrain/internal/metrics"
+)
+
+// Render prints one report as the human-readable regret table: headline
+// totals, the per-candidate counterfactual season, per-format calibration,
+// and the switch ledger.
+func (r *Report) Render() string {
+	var b strings.Builder
+	name := r.Label
+	if name == "" {
+		name = fmt.Sprintf("%s %s", r.Model, r.Scheme)
+	}
+	fmt.Fprintf(&b, "audit %s (%s, world %d, staleness %s)\n",
+		name, r.Collective, r.World, metrics.FormatSeconds(r.StalenessSec))
+	fmt.Fprintf(&b, "  %d iters: %d decided rounds, %d forced syncs, %d skipped (NNZ unknown)\n",
+		r.Iters, r.DecidedRounds, r.ForcedOps, r.SkippedRounds)
+	if r.DecidedRounds == 0 {
+		b.WriteString("  no controller decisions to audit\n")
+		return b.String()
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("counterfactual ledger totals (%d rounds; chosen %s, oracle regret %s, vs best static %+.2f%%)",
+			r.DecidedRounds, metrics.FormatSeconds(r.ChosenSec),
+			metrics.FormatSeconds(r.OracleRegretSec), 100*r.StaticRegretSec/r.BestStaticSec),
+		"candidate", "season total", "vs chosen")
+	for _, s := range r.Static {
+		mark := ""
+		if s.Format == r.BestStaticFormat {
+			mark = " (best static)"
+		}
+		tb.AddRow(s.Format,
+			metrics.FormatSeconds(s.QuoteSec)+mark,
+			fmt.Sprintf("%+.2f%%", 100*(s.QuoteSec-r.ChosenSec)/r.ChosenSec))
+	}
+	b.WriteString(tb.String())
+
+	cal := metrics.NewTable(
+		fmt.Sprintf("calibration: predicted vs actual per op (max |err| %.4f, %d stale mispick rounds)",
+			r.MaxCalibrationError(), r.MispickRounds),
+		"format", "rounds", "mean err", "max |err|")
+	for _, c := range r.Calibration {
+		cal.AddRow(c.Format, fmt.Sprintf("%d", c.Rounds),
+			fmt.Sprintf("%+.4f", c.MeanSignedError), fmt.Sprintf("%.4f", c.MaxAbsError))
+	}
+	b.WriteString(cal.String())
+
+	fmt.Fprintf(&b, "switches: %d observed, %d paid for themselves\n", len(r.Switches), r.SwitchesPaid)
+	for _, sw := range r.Switches {
+		verdict := "unpaid"
+		if sw.Paid {
+			verdict = "paid"
+		}
+		fmt.Fprintf(&b, "  iter %-4d bucket %-3d %s -> %s: %s over %d rounds (%s)\n",
+			sw.Iter, sw.Bucket, sw.From, sw.To,
+			metrics.FormatSeconds(sw.SavedSec), sw.RoundsHeld, verdict)
+	}
+	return b.String()
+}
+
+// Summary renders every report of a grid audit, in collection order.
+func Summary(reports []*Report) string {
+	if len(reports) == 0 {
+		return "audit: no controller-driven runs collected\n"
+	}
+	var b strings.Builder
+	for i, r := range reports {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(r.Render())
+	}
+	return b.String()
+}

@@ -139,6 +139,9 @@ func RunAdaptive(opt Options) (*AdaptiveExpResult, error) {
 		return nil, fmt.Errorf("adaptive statics: %w", err)
 	}
 	opt.traceRuns(staticJobs, staticRes)
+	if err := opt.auditRuns(staticJobs, staticRes); err != nil {
+		return nil, fmt.Errorf("adaptive statics: %w", err)
+	}
 
 	// Operating-point fabrics. The varbw oscillation period is sized per
 	// bandwidth from the ternary baseline re-costed on the untraced WAN
@@ -203,6 +206,12 @@ func RunAdaptive(opt Options) (*AdaptiveExpResult, error) {
 	// with repriced candidate quotes on every decision instant.
 	opt.traceRuns(adaptiveJobs, adaptiveRes)
 	opt.traceRecost("adaptive", map[string]any{"points": len(points), "formats": len(out.Formats)})
+	// Audits replay each adaptive cell on its recorded fabric (in the
+	// config, like the trace replays) — counterfactual quotes are only
+	// truthful where the controller actually priced (DESIGN.md §8).
+	if err := opt.auditRuns(adaptiveJobs, adaptiveRes); err != nil {
+		return nil, fmt.Errorf("adaptive audit: %w", err)
+	}
 
 	for pi, p := range points {
 		for fi, f := range out.Formats {

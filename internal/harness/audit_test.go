@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"pactrain/internal/audit"
+	"pactrain/internal/core"
+	"pactrain/internal/harness/engine"
+)
+
+// TestAuditRunAdaptiveQuick audits the full adaptive experiment grid: every
+// adaptive cell and every static baseline collects one report, the adaptive
+// ledgers reproduce the experiment's headline invariant (chosen at or below
+// best static, up to the hysteresis margin bound) from the recorded logs
+// alone, and the single-candidate statics show zero regret by construction.
+func TestAuditRunAdaptiveQuick(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	opt := quickOpts()
+	opt.Auditor = audit.NewCollector()
+	res, err := RunAdaptive(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := opt.Auditor.Reports()
+	points := len(res.VarBWBandwidths) + len(res.TwoRackBandwidths)
+	if want := points + len(res.Formats); len(reports) != want {
+		t.Fatalf("collected %d audit reports, want %d (every cell and baseline)", len(reports), want)
+	}
+	statics, adaptives := 0, 0
+	for _, rep := range reports {
+		if rep.DecidedRounds == 0 {
+			t.Fatalf("%s: empty ledger", rep.Label)
+		}
+		if rep.MaxCalibrationError() != 0 {
+			t.Fatalf("%s: calibration error %v at zero staleness", rep.Label, rep.MaxCalibrationError())
+		}
+		if len(rep.Candidates) == 1 {
+			statics++
+			// One candidate: chosen, oracle, and best static coincide.
+			if rep.OracleRegretSec != 0 || rep.StaticRegretSec != 0 || len(rep.Switches) != 0 {
+				t.Fatalf("%s: single-candidate ledger has regret: %+v", rep.Label, rep)
+			}
+			continue
+		}
+		adaptives++
+		if rep.ChosenSec > rep.BestStaticSec*rep.MarginBound*(1+1e-12) {
+			t.Fatalf("%s: chosen %v exceeds best static %v beyond margin bound %v",
+				rep.Label, rep.ChosenSec, rep.BestStaticSec, rep.MarginBound)
+		}
+		if rep.OracleSec > rep.ChosenSec {
+			t.Fatalf("%s: oracle %v above chosen %v", rep.Label, rep.OracleSec, rep.ChosenSec)
+		}
+	}
+	if statics != len(res.Formats) || adaptives != points {
+		t.Fatalf("report mix %d static / %d adaptive, want %d / %d", statics, adaptives, len(res.Formats), points)
+	}
+	// On the oscillating fabrics the controller beats every static season
+	// somewhere — the ledger-side echo of the TTA headline.
+	beat := false
+	for _, rep := range reports {
+		if len(rep.Candidates) > 1 && rep.StaticRegretSec < 0 {
+			beat = true
+		}
+	}
+	if !beat {
+		t.Fatal("no adaptive ledger beat its best static counterfactual")
+	}
+	if !strings.Contains(audit.Summary(reports), "counterfactual ledger") {
+		t.Fatal("summary missing ledger tables")
+	}
+}
+
+// TestAuditArtifactIdenticalAcrossEngineParallelism pins the acceptance
+// criterion: the serialized audit artifact of the adaptive experiment is
+// byte-identical whether the grid trains serially or four jobs at a time.
+func TestAuditArtifactIdenticalAcrossEngineParallelism(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	artifact := func(parallelism int) ([]byte, string) {
+		opt := quickOpts()
+		opt.Engine = nil
+		opt.Parallelism = parallelism
+		opt.Auditor = audit.NewCollector()
+		rep, err := RunAdaptive(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := audit.MarshalReports(opt.Auditor.Reports())
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := ReportJSON("adaptive", opt, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, string(js)
+	}
+	a1, r1 := artifact(1)
+	a4, r4 := artifact(4)
+	if string(a1) != string(a4) {
+		t.Fatalf("audit artifact differs across engine parallelism (%d vs %d bytes)", len(a1), len(a4))
+	}
+	// The experiment report itself must also be untouched by auditing.
+	if r1 != r4 {
+		t.Fatal("experiment report differs across engine parallelism with auditor attached")
+	}
+}
+
+// TestAuditObservationOnly pins the zero-perturbation contract: running the
+// adaptive experiment with and without an auditor yields byte-identical
+// reports, and the audit never changes a config fingerprint.
+func TestAuditObservationOnly(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	run := func(audited bool) string {
+		opt := quickOpts()
+		opt.Engine = engine.New(engine.Options{Parallelism: 1})
+		if audited {
+			opt.Auditor = audit.NewCollector()
+		}
+		rep, err := RunAdaptive(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := ReportJSON("adaptive", opt, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(js)
+	}
+	if run(false) != run(true) {
+		t.Fatal("auditing perturbed the experiment report")
+	}
+}
+
+// TestAuditRunLabel covers the single-run entry point the CLIs use.
+func TestAuditRunLabel(t *testing.T) {
+	skipIfShort(t)
+	t.Parallel()
+	cfg := adaptiveWANConfig(quickOpts(), 2)
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AuditRun("wan dip", cfg, res, audit.Options{IncludeRounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "wan dip" {
+		t.Fatalf("label %q", rep.Label)
+	}
+	if rep.DecidedRounds == 0 || len(rep.Rounds) == 0 {
+		t.Fatal("empty ledger for adaptive WAN run")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"io"
 	"math"
 
+	"pactrain/internal/audit"
 	"pactrain/internal/collective"
 	"pactrain/internal/core"
 	"pactrain/internal/data"
@@ -115,6 +116,17 @@ type Options struct {
 	// and fingerprints are byte-identical with or without it, and serve's
 	// coalescing key ignores it (pointer field, like Engine).
 	Tracer *obs.Tracer
+
+	// Auditor, when non-nil, collects a counterfactual decision audit of
+	// every controller-driven run an experiment trains (audit.go; currently
+	// the adaptive experiment's cells and static baselines). Observation-only
+	// like Tracer: reports and fingerprints are byte-identical with or
+	// without it, and serve's coalescing key ignores it.
+	Auditor *audit.Collector
+	// AuditStaleness ages the audit's controller-view pricing by this many
+	// seconds (audit.Options.StalenessSec): 0 prices at launch, where the
+	// calibration error is exactly zero on the recorded fabric.
+	AuditStaleness float64
 }
 
 // Normalized returns the options with every default applied — the

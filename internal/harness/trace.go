@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"pactrain/internal/adaptive"
+	"pactrain/internal/audit"
 	"pactrain/internal/collective"
 	"pactrain/internal/core"
 	"pactrain/internal/ddp"
@@ -192,11 +193,11 @@ type decisionQuoter struct {
 	hosts       []netsim.NodeID
 	candidates  []string
 	bucketElems []int
-	// lastNNZ carries each bucket's most recent retained-coordinate count
-	// forward: dense rounds do not encode the mask's NNZ on the wire, so a
-	// dense decision is quoted with the last compact round's NNZ (or not at
-	// all, before the first one).
-	lastNNZ map[int]int
+	// nnzs carries each bucket's most recent retained-coordinate count
+	// forward (audit.NNZTracker): dense rounds do not encode the mask's NNZ
+	// on the wire, so a dense decision is quoted with the last compact
+	// round's NNZ (or not at all, before the first one).
+	nnzs *audit.NNZTracker
 }
 
 func newDecisionQuoter(cfg *core.Config, fabric *netsim.Fabric, hosts []netsim.NodeID, bucketElems []int) *decisionQuoter {
@@ -210,7 +211,7 @@ func newDecisionQuoter(cfg *core.Config, fabric *netsim.Fabric, hosts []netsim.N
 		hosts:       hosts,
 		candidates:  cands,
 		bucketElems: bucketElems,
-		lastNNZ:     make(map[int]int),
+		nnzs:        audit.NewNNZTracker(),
 	}
 }
 
@@ -220,7 +221,7 @@ func (q *decisionQuoter) decide(op core.CommOp, launch float64) (string, map[str
 	if op.Decision == "" {
 		return op.Wire.Name, nil
 	}
-	nnz, ok := q.nnzOf(op)
+	nnz, ok := q.nnzs.Observe(op)
 	n := 0
 	if op.Bucket < len(q.bucketElems) {
 		n = q.bucketElems[op.Bucket]
@@ -228,59 +229,11 @@ func (q *decisionQuoter) decide(op core.CommOp, launch float64) (string, map[str
 	if !ok || n == 0 {
 		return op.Decision, nil
 	}
-	quotes := adaptive.PriceQuotes(q.algo, q.pricing, q.hosts, wireScaleFromOp(op),
+	quotes := adaptive.PriceQuotes(q.algo, q.pricing, q.hosts, audit.WireScaleFromOp(op),
 		q.candidates, n, nnz, launch)
 	m := make(map[string]any, len(quotes))
 	for _, quote := range quotes {
 		m[quote.Format] = quote.CostSeconds
 	}
 	return op.Decision, map[string]any{"quotes": m, "nnz": nnz}
-}
-
-// nnzOf recovers the mask's retained-coordinate count from a recorded
-// adaptive op: the compact formats put exactly NNZ elements on the wire,
-// the index list gathers NNZ coordinates per origin, and dense rounds fall
-// back to the bucket's last known value.
-func (q *decisionQuoter) nnzOf(op core.CommOp) (int, bool) {
-	switch op.Decision {
-	case adaptive.FormatCompact, adaptive.FormatCompactTernary:
-		q.lastNNZ[op.Bucket] = op.Elements
-		return op.Elements, true
-	case adaptive.FormatIndexList:
-		if len(op.Sizes) > 0 {
-			q.lastNNZ[op.Bucket] = op.Sizes[0]
-			return op.Sizes[0], true
-		}
-	case adaptive.FormatDense:
-		if v, ok := q.lastNNZ[op.Bucket]; ok {
-			return v, true
-		}
-	}
-	return 0, false
-}
-
-// wireScaleFromOp recovers the lite-twin wire scale the hooks applied to a
-// recorded op's format (DESIGN.md §1): the recorded BytesPerElement over
-// the format's base width. Exact — the scale was applied by multiplication,
-// and dividing by the power-of-two base widths loses no bits.
-func wireScaleFromOp(op core.CommOp) float64 {
-	var base float64
-	switch op.Wire.Name {
-	case "fp32":
-		base = 4
-	case "fp16":
-		base = 2
-	case "int8":
-		base = 1
-	case "coo":
-		base = 8
-	case "ternary":
-		base = 0.25
-	case "bitmap":
-		base = 0.125
-	}
-	if base == 0 || op.Wire.BytesPerElement == 0 {
-		return 1
-	}
-	return op.Wire.BytesPerElement / base
 }

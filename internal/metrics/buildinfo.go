@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfoLabels returns the binary's identity — module version, VCS
+// revision when stamped, and Go toolchain — as a label map for a build-info
+// gauge (Registry.Info) and for JSON stats views. Fields the build did not
+// stamp come back as "unknown" so the series shape is stable across build
+// modes (go build, go test, go run).
+func BuildInfoLabels() map[string]string {
+	labels := map[string]string{
+		"version":    "unknown",
+		"revision":   "unknown",
+		"go_version": runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return labels
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		labels["version"] = v
+	}
+	rev, modified := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if modified {
+			rev += "-dirty"
+		}
+		labels["revision"] = rev
+	}
+	return labels
+}

@@ -168,6 +168,41 @@ func (h *Histogram) render(b *strings.Builder, name string) {
 	fmt.Fprintf(b, "%s_count %d\n", name, h.total)
 }
 
+// Info is a constant-1 gauge carrying identity as labels — the Prometheus
+// convention for build/version metadata (*_info series). The labels are
+// fixed at declaration; the value is always 1.
+type Info struct {
+	h      string
+	series string // pre-rendered {k="v",...} suffix, keys sorted
+}
+
+// Info declares an info gauge with the given label set and returns its
+// handle (the handle carries no operations — the instrument is constant).
+func (r *Registry) Info(name, help string, labels map[string]string) *Info {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	inst := &Info{h: help, series: b.String()}
+	r.register(name, inst)
+	return inst
+}
+
+func (i *Info) help() string { return i.h }
+
+func (i *Info) render(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "# TYPE %s gauge\n", name)
+	fmt.Fprintf(b, "%s{%s} 1\n", name, i.series)
+}
+
 // ExponentialBuckets returns n upper bounds starting at start and growing
 // by factor — the standard shape for latency and age histograms whose
 // interesting range spans orders of magnitude.

@@ -114,3 +114,40 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Errorf("histogram count = %d, want 800", h.Count())
 	}
 }
+
+// TestInfoInstrument pins the info-gauge exposition: constant 1, labels
+// escaped and sorted by key, rendered in declaration order with the other
+// instruments.
+func TestInfoInstrument(t *testing.T) {
+	r := NewRegistry()
+	r.Info("build_info", "binary identity", map[string]string{
+		"version":    "v1.2.3",
+		"go_version": "go1.24",
+		"odd":        `quote " and \ slash`,
+	})
+	r.Counter("after", "declared second")
+	out := r.Render()
+	want := "# HELP build_info binary identity\n" +
+		"# TYPE build_info gauge\n" +
+		"build_info{go_version=\"go1.24\",odd=\"quote \\\" and \\\\ slash\",version=\"v1.2.3\"} 1\n"
+	if !strings.HasPrefix(out, want) {
+		t.Fatalf("info exposition:\n%s\nwant prefix:\n%s", out, want)
+	}
+	if !strings.Contains(out, "# TYPE after counter\n") {
+		t.Fatal("instrument declared after Info missing from render")
+	}
+}
+
+// TestBuildInfoLabels pins the shape contract: every series label is
+// present and non-empty regardless of how the binary was built.
+func TestBuildInfoLabels(t *testing.T) {
+	labels := BuildInfoLabels()
+	for _, k := range []string{"version", "revision", "go_version"} {
+		if labels[k] == "" {
+			t.Fatalf("BuildInfoLabels missing %q: %v", k, labels)
+		}
+	}
+	if !strings.HasPrefix(labels["go_version"], "go") {
+		t.Fatalf("go_version %q", labels["go_version"])
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejectsCorruptTraces pins the -validate-trace error paths: a
+// corrupt, truncated, or structurally broken trace file produces a
+// diagnostic error — never a panic, never a silent pass.
+func TestValidateRejectsCorruptTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want string
+	}{
+		{"not json", "perfetto says hi", "not a JSON trace document"},
+		{"truncated", `{"traceEvents":[{"name":"compute","ph":"X","ts":0,`, "not a JSON trace document"},
+		{"empty document", `{}`, "no traceEvents"},
+		{"empty events", `{"traceEvents":[]}`, "no traceEvents"},
+		{"nameless event", `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}`, "has no name"},
+		{"negative duration", `{"traceEvents":[{"name":"c","ph":"X","ts":0,"dur":-1,"pid":0,"tid":0}]}`, "negative duration"},
+		{"negative track", `{"traceEvents":[{"name":"c","ph":"X","ts":0,"dur":1,"pid":-1,"tid":0}]}`, "negative pid/tid"},
+		{"unknown phase", `{"traceEvents":[{"name":"c","ph":"Q","ts":0,"pid":0,"tid":0}]}`, "unknown phase"},
+		{"time reversal", `{"traceEvents":[` +
+			`{"name":"a","ph":"X","ts":5,"dur":1,"pid":0,"tid":0},` +
+			`{"name":"b","ph":"X","ts":2,"dur":1,"pid":0,"tid":0}]}`, "goes backwards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate([]byte(tc.raw))
+			if err == nil {
+				t.Fatalf("corrupt trace validated: %s", tc.raw)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("diagnostic %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateFileErrors covers the file-level wrapper: a missing path and
+// an on-disk truncated document both surface as errors with context.
+func TestValidateFileErrors(t *testing.T) {
+	if err := ValidateFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file validated")
+	}
+	path := filepath.Join(t.TempDir(), "truncated.json")
+	tr := NewTracer()
+	run := tr.StartRun("run", "fp", 2, []int{4})
+	run.Compute(0, 0, 0, 1e-3, 2e-3)
+	raw, err := tr.Build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ValidateFile(path)
+	if err == nil {
+		t.Fatal("truncated trace file validated")
+	}
+	if !strings.Contains(err.Error(), "not a JSON trace document") {
+		t.Fatalf("diagnostic %q", err)
+	}
+}

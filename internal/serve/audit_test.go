@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pactrain/internal/audit"
+)
+
+// TestAuditEndpoint covers GET /v1/jobs/{id}/audit: a controller-driven
+// experiment finishes with a parseable counterfactual-audit artifact and
+// feeds the audit gauges; an experiment with no controller runs finishes
+// without one and 404s; unknown ids 404.
+func TestAuditEndpoint(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{Parallelism: 4, Workers: 2})
+
+	resp, raw := postJSON(t, ts.URL+"/v1/experiments", testRequest("adaptive"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatalf("submit body: %v\n%s", err, raw)
+	}
+	waitForState(t, ts.URL, sub.JobID, JobDone)
+
+	code, reports := getJSON[[]*audit.Report](t, ts.URL+"/v1/jobs/"+sub.JobID+"/audit")
+	if code != http.StatusOK {
+		t.Fatalf("audit status %d", code)
+	}
+	if len(reports) == 0 {
+		t.Fatal("adaptive job produced no audit reports")
+	}
+	for _, rep := range reports {
+		if rep.DecidedRounds == 0 {
+			t.Fatalf("%s: empty ledger in served artifact", rep.Label)
+		}
+		if rep.ReplayEndSec <= 0 {
+			t.Fatalf("%s: missing replay clock", rep.Label)
+		}
+	}
+
+	// The audit gauges observed the completion.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "pactrain_audit_runs_total") {
+		t.Fatal("metrics missing pactrain_audit_runs_total")
+	}
+	if strings.Contains(text, "pactrain_audit_runs_total 0\n") {
+		t.Fatal("pactrain_audit_runs_total still zero after an audited job")
+	}
+
+	// A grid without controller decisions finishes with no artifact.
+	resp2, raw2 := postJSON(t, ts.URL+"/v1/experiments", testRequest("fig6"))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp2.StatusCode, raw2)
+	}
+	var sub2 submitResponse
+	if err := json.Unmarshal(raw2, &sub2); err != nil {
+		t.Fatalf("submit body: %v\n%s", err, raw2)
+	}
+	waitForState(t, ts.URL, sub2.JobID, JobDone)
+	code2, body2 := getJSON[map[string]string](t, ts.URL+"/v1/jobs/"+sub2.JobID+"/audit")
+	if code2 != http.StatusNotFound {
+		t.Fatalf("audit of non-controller job: status %d, want 404", code2)
+	}
+	if !strings.Contains(body2["error"], "no audit artifact") {
+		t.Fatalf("audit 404 body %q missing diagnostic", body2["error"])
+	}
+
+	if code3, _ := getJSON[map[string]string](t, ts.URL+"/v1/jobs/nope/audit"); code3 != http.StatusNotFound {
+		t.Fatalf("unknown job audit status %d, want 404", code3)
+	}
+}
+
+// TestPProfOffByDefault pins the -pprof gate: the profiling surface is
+// absent unless Options.PProf opts in.
+func TestPProfOffByDefault(t *testing.T) {
+	t.Parallel()
+	_, off := newTestServer(t, Options{})
+	offResp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offResp.Body.Close()
+	if offResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without opt-in: status %d, want 404", offResp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Options{PProf: true})
+	resp, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatal("pprof index missing profile listing")
+	}
+}
+
+// TestBuildInfoExposed pins satellite 2: the build-identity gauge is on
+// /metrics and the same labels ride /v1/stats as the build field.
+func TestBuildInfoExposed(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "pactrain_build_info{") {
+		t.Fatal("metrics missing pactrain_build_info")
+	}
+	if !strings.Contains(text, `go_version="go`) {
+		t.Fatal("pactrain_build_info missing go_version label")
+	}
+
+	code, stats := getJSON[StatsView](t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if !strings.HasPrefix(stats.Build["go_version"], "go") {
+		t.Fatalf("stats build field %v missing go_version", stats.Build)
+	}
+	if stats.Build["version"] == "" || stats.Build["revision"] == "" {
+		t.Fatalf("stats build field %v has empty identity entries", stats.Build)
+	}
+}

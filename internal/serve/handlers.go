@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 
 	"pactrain/internal/collective"
 	"pactrain/internal/core"
@@ -19,10 +20,14 @@ import (
 //	GET  /v1/jobs             list jobs in submission order
 //	GET  /v1/jobs/{id}        job status + per-job engine progress
 //	GET  /v1/jobs/{id}/result finished report bytes (CLI -json compatible)
+//	GET  /v1/jobs/{id}/audit  finished counterfactual audit artifact
 //	GET  /v1/jobs/{id}/events live SSE stream (Last-Event-ID replay)
 //	GET  /v1/stats            engine counters, job tallies, recent events
 //	GET  /healthz             liveness (503 while draining)
 //	GET  /metrics             Prometheus text exposition
+//
+// With Options.PProf, net/http/pprof is additionally served under
+// /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
@@ -32,10 +37,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opt.PProf {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -137,6 +150,32 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	switch view.State {
 	case JobDone:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, errors.New(view.Error))
+	default:
+		// Not finished: report the state so pollers can keep waiting.
+		writeJSON(w, http.StatusConflict, view)
+	}
+}
+
+// handleAudit serves a finished job's counterfactual audit artifact — the
+// regret/calibration ledgers of every controller-driven run in the job's
+// grid (audit.MarshalReports). Experiments with no controller runs finish
+// without an artifact and 404.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	raw, view, ok := s.Audit(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	switch view.State {
+	case JobDone:
+		if raw == nil {
+			writeError(w, http.StatusNotFound, errors.New("no audit artifact for this job (experiment has no controller-driven runs)"))
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(raw)
 	case JobFailed:

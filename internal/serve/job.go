@@ -83,6 +83,10 @@ type job struct {
 	finished time.Time
 
 	resultJSON []byte
+	// auditJSON is the job's counterfactual audit artifact
+	// (audit.MarshalReports); nil when the experiment audited nothing
+	// (no controller-driven runs in its grid).
+	auditJSON []byte
 }
 
 // submitKey canonicalizes a request for coalescing: two requests with the

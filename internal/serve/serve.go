@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"pactrain/internal/audit"
 	"pactrain/internal/collective"
 	"pactrain/internal/ddp"
 	"pactrain/internal/harness"
@@ -85,6 +86,10 @@ type Options struct {
 	// (the same EventPayload the SSE stream sends) and silences the
 	// free-form engine lines.
 	LogFormat string
+	// PProf exposes net/http/pprof under /debug/pprof/ on the service
+	// handler. Off by default: the profiling surface is for operators, not
+	// API clients.
+	PProf bool
 }
 
 // Server owns the shared engine and the async job queue. Construct with
@@ -109,6 +114,10 @@ type Server struct {
 	// Lifetime totals: unlike the per-state tallies over s.jobs, these
 	// survive history eviction, so /v1/stats and /metrics agree forever.
 	doneTotal, failedTotal, coalescedTotal int
+	// auditCalibMax is the lifetime-high calibration error across every
+	// audited run — the drift headline pactrain_audit_calibration_max_abs_error
+	// reports.
+	auditCalibMax float64
 
 	wg sync.WaitGroup
 }
@@ -215,6 +224,11 @@ type serveMetrics struct {
 	draining        *metrics.Counter
 	queueDepth      *metrics.Counter
 
+	auditRuns         *metrics.Counter
+	auditOracleRegret *metrics.Counter
+	auditStaticRegret *metrics.Counter
+	auditCalibMax     *metrics.Counter
+
 	jobWall     *metrics.Histogram
 	jobSim      *metrics.Histogram
 	cacheHitAge *metrics.Histogram
@@ -222,21 +236,26 @@ type serveMetrics struct {
 
 func newServeMetrics() *serveMetrics {
 	reg := metrics.NewRegistry()
+	reg.Info("pactrain_build_info", "build identity of the serving binary", metrics.BuildInfoLabels())
 	return &serveMetrics{
-		reg:             reg,
-		jobsQueued:      reg.Gauge("pactrain_serve_jobs_queued", "jobs accepted and waiting for a worker"),
-		jobsRunning:     reg.Gauge("pactrain_serve_jobs_running", "jobs currently executing"),
-		jobsDone:        reg.Counter("pactrain_serve_jobs_done_total", "jobs completed successfully"),
-		jobsFailed:      reg.Counter("pactrain_serve_jobs_failed_total", "jobs that ended in error"),
-		jobsCoalesced:   reg.Counter("pactrain_serve_jobs_coalesced_total", "submissions folded onto an identical in-flight job"),
-		engineSubmitted: reg.Counter("pactrain_engine_jobs_submitted_total", "grid cells submitted to the engine"),
-		engineTrained:   reg.Counter("pactrain_engine_trainings_total", "trainings the engine actually executed"),
-		engineDeduped:   reg.Counter("pactrain_engine_deduped_total", "grid cells satisfied by an identical in-process job"),
-		engineCacheHits: reg.Counter("pactrain_engine_cache_hits_total", "grid cells satisfied from the on-disk cache"),
-		simServed:       reg.Counter("pactrain_serve_sim_seconds_served_total", "simulated training seconds delivered to clients"),
-		cacheSwept:      reg.Counter("pactrain_serve_cache_swept_total", "stale or corrupt cache entries removed at startup"),
-		draining:        reg.Gauge("pactrain_serve_draining", "1 while graceful shutdown is in progress"),
-		queueDepth:      reg.Gauge("pactrain_serve_queue_depth", "submissions sitting in the accept queue"),
+		reg:               reg,
+		jobsQueued:        reg.Gauge("pactrain_serve_jobs_queued", "jobs accepted and waiting for a worker"),
+		jobsRunning:       reg.Gauge("pactrain_serve_jobs_running", "jobs currently executing"),
+		jobsDone:          reg.Counter("pactrain_serve_jobs_done_total", "jobs completed successfully"),
+		jobsFailed:        reg.Counter("pactrain_serve_jobs_failed_total", "jobs that ended in error"),
+		jobsCoalesced:     reg.Counter("pactrain_serve_jobs_coalesced_total", "submissions folded onto an identical in-flight job"),
+		engineSubmitted:   reg.Counter("pactrain_engine_jobs_submitted_total", "grid cells submitted to the engine"),
+		engineTrained:     reg.Counter("pactrain_engine_trainings_total", "trainings the engine actually executed"),
+		engineDeduped:     reg.Counter("pactrain_engine_deduped_total", "grid cells satisfied by an identical in-process job"),
+		engineCacheHits:   reg.Counter("pactrain_engine_cache_hits_total", "grid cells satisfied from the on-disk cache"),
+		simServed:         reg.Counter("pactrain_serve_sim_seconds_served_total", "simulated training seconds delivered to clients"),
+		cacheSwept:        reg.Counter("pactrain_serve_cache_swept_total", "stale or corrupt cache entries removed at startup"),
+		draining:          reg.Gauge("pactrain_serve_draining", "1 while graceful shutdown is in progress"),
+		queueDepth:        reg.Gauge("pactrain_serve_queue_depth", "submissions sitting in the accept queue"),
+		auditRuns:         reg.Counter("pactrain_audit_runs_total", "training runs audited into counterfactual ledgers"),
+		auditOracleRegret: reg.Counter("pactrain_audit_oracle_regret_seconds_total", "audited controller cost above the per-round oracle, summed over runs"),
+		auditStaticRegret: reg.Gauge("pactrain_audit_static_regret_seconds_total", "audited controller cost versus the best static format, summed over runs (negative: the controller won)"),
+		auditCalibMax:     reg.Gauge("pactrain_audit_calibration_max_abs_error", "largest |predicted-actual|/actual cost error observed across audited runs"),
 		jobWall: reg.Histogram("pactrain_serve_job_wall_seconds", "wall-clock duration of completed jobs",
 			metrics.ExponentialBuckets(0.1, 2, 12)),
 		jobSim: reg.Histogram("pactrain_serve_job_sim_seconds", "simulated training seconds attributed to completed jobs",
@@ -322,10 +341,23 @@ func (s *Server) run(j *job) {
 		opts.Log = io.Discard
 	}
 	opts.Parallelism = s.opt.Parallelism
+	// Every job gets a fresh auditor: experiments wired for auditing (the
+	// controller-driven grids) fill it, everything else leaves it empty.
+	// Auditing is derived from recorded logs, so the report bytes stay
+	// byte-identical to the CLI's un-audited output.
+	auditor := audit.NewCollector()
+	opts.Auditor = auditor
 	rep, err := j.def.Run(opts)
 	var raw []byte
 	if err == nil {
 		raw, err = harness.ReportJSON(j.def.ID, opts, rep)
+	}
+	var auditRaw []byte
+	var audited []*audit.Report
+	if err == nil {
+		if audited = auditor.Reports(); len(audited) > 0 {
+			auditRaw, err = audit.MarshalReports(audited)
+		}
 	}
 
 	s.mu.Lock()
@@ -339,7 +371,25 @@ func (s *Server) run(j *job) {
 		// Match the CLI byte-for-byte: pactrain-bench prints the report
 		// followed by one newline.
 		j.resultJSON = append(raw, '\n')
+		j.auditJSON = auditRaw
 		s.doneTotal++
+		if len(audited) > 0 {
+			var oracle, static, calib float64
+			for _, r := range audited {
+				oracle += r.OracleRegretSec
+				static += r.StaticRegretSec
+				if m := r.MaxCalibrationError(); m > calib {
+					calib = m
+				}
+			}
+			s.met.auditRuns.Add(float64(len(audited)))
+			s.met.auditOracleRegret.Add(oracle)
+			s.met.auditStaticRegret.Add(static)
+			if calib > s.auditCalibMax {
+				s.auditCalibMax = calib
+				s.met.auditCalibMax.Set(calib)
+			}
+		}
 	}
 	s.met.jobWall.Observe(j.finished.Sub(j.started).Seconds())
 	s.met.jobSim.Observe(j.simSeconds)
@@ -478,11 +528,25 @@ func (s *Server) Result(id string) ([]byte, JobView, bool) {
 	return j.resultJSON, j.view(), true
 }
 
+// Audit returns a finished job's counterfactual audit artifact.
+func (s *Server) Audit(id string) ([]byte, JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobView{}, false
+	}
+	return j.auditJSON, j.view(), true
+}
+
 // EngineStats snapshots the shared engine's counters.
 func (s *Server) EngineStats() engine.Stats { return s.engine.Stats() }
 
 // StatsView is the body of GET /v1/stats.
 type StatsView struct {
+	// Build is the serving binary's identity (version, VCS revision, Go
+	// toolchain) — the JSON face of the pactrain_build_info gauge.
+	Build      map[string]string  `json:"build"`
 	Engine     engine.Stats       `json:"engine"`
 	CacheSweep engine.SweepResult `json:"cache_sweep"`
 	Jobs       JobCounts          `json:"jobs"`
@@ -521,6 +585,7 @@ func (s *Server) Stats() StatsView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := StatsView{
+		Build:            metrics.BuildInfoLabels(),
 		Engine:           est,
 		CacheSweep:       s.sweep,
 		SimSecondsServed: s.simServed,

@@ -21,6 +21,7 @@ package pactrain
 import (
 	"fmt"
 
+	"pactrain/internal/audit"
 	"pactrain/internal/collective"
 	"pactrain/internal/compress"
 	"pactrain/internal/core"
@@ -320,3 +321,40 @@ func TraceSummary(tr *Tracer) string { return tr.Summary() }
 // spans non-negative and metadata-consistent, instants well-scoped. CI runs
 // it on generated traces.
 func ValidateTraceFile(path string) error { return obs.ValidateFile(path) }
+
+// Auditor accumulates counterfactual audit reports across experiment runs,
+// deduplicated by config fingerprint. Hang one on Options.Auditor; auditing
+// is derived purely from recorded logs and never perturbs reports,
+// fingerprints, or caches (DESIGN.md §13).
+type Auditor = audit.Collector
+
+// AuditReport is one run's counterfactual ledger: per-round candidate
+// quotes, cumulative regret versus the per-round oracle and the best static
+// format, switch-efficiency verdicts, and predicted-versus-actual cost
+// calibration per format.
+type AuditReport = audit.Report
+
+// AuditOptions configures an audit replay (staleness injection, per-round
+// ledger retention).
+type AuditOptions = audit.Options
+
+// NewAuditor returns an empty audit collector.
+func NewAuditor() *Auditor { return audit.NewCollector() }
+
+// AuditRun replays one recorded run's controller decisions through the
+// pricing arithmetic the controller used and returns its ledger. The config
+// must be the one the run was recorded under (DESIGN.md §8) and must have
+// RecordComm set, as DefaultConfig does.
+func AuditRun(label string, cfg Config, res *Result, opt AuditOptions) (*AuditReport, error) {
+	return harness.AuditRun(label, cfg, res, opt)
+}
+
+// WriteAuditReports serializes audit reports as an indented JSON artifact —
+// byte-identical across parallelism and kernel budgets.
+func WriteAuditReports(path string, reports []*AuditReport) error {
+	return audit.WriteReports(path, reports)
+}
+
+// AuditSummary renders the collected ledgers as human-readable regret,
+// calibration, and switch tables.
+func AuditSummary(reports []*AuditReport) string { return audit.Summary(reports) }
