@@ -51,6 +51,7 @@ import (
 	"strings"
 
 	"pactrain"
+	"pactrain/internal/loadgen"
 	"pactrain/internal/prof"
 )
 
@@ -69,6 +70,7 @@ func main() {
 	listSchemes := flag.Bool("list-schemes", false, "print the aggregation-scheme catalog and exit")
 	listCollectives := flag.Bool("list-collectives", false, "print the collective-algorithm catalog and exit")
 	perf := flag.Bool("perf", false, "run the pinned perf-regression grid instead of experiments")
+	perfServe := flag.Bool("perf-serve", true, "include the serve-throughput entries (loadgen against an in-process 2-instance cache-peer pair) in the perf grid")
 	perfOut := flag.String("perf-out", "", "perf report output path (default BENCH_<grid>.json)")
 	perfCompare := flag.String("perf-compare", "", "baseline BENCH_*.json to diff the perf run against; regressions >10% exit non-zero")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every traced run to this file (open in Perfetto)")
@@ -96,6 +98,13 @@ func main() {
 		popt := pactrain.PerfOptions{Quick: *quick}
 		if !*quiet {
 			popt.Log = os.Stderr
+		}
+		if *perfServe {
+			// The serve-* entries boot a two-instance cache-peer pair in
+			// process and measure a load run against it; the train-fraction
+			// entry keeps cross-instance dedup under the same 10% gate as
+			// the kernels.
+			popt.Extra = loadgen.PerfCases(*quick, popt.Log)
 		}
 		report := pactrain.RunPerf(popt)
 		out := *perfOut

@@ -1,0 +1,106 @@
+// Command pactrain-loadgen drives one or more pactrain-serve instances with
+// an open-loop load profile and reports what clients experienced: delivered
+// jobs/sec, p50/p99 submit-to-done latency, how much of the arriving work
+// trained versus resolving from coalescing, dedup, and the cache tiers, and
+// — against a cache-peer group — the cross-instance hit ratio.
+//
+// Usage:
+//
+//	pactrain-loadgen -targets http://a:8080,http://b:8080
+//	pactrain-loadgen -targets http://localhost:8080 -count 100 -rate 50
+//	pactrain-loadgen -targets http://a:8080,http://b:8080 -dup 0.6 -recost 0.2
+//	pactrain-loadgen -targets http://localhost:8080 -json
+//
+// Arrivals are scheduled on the clock (open loop): the generator keeps
+// submitting at -rate even while the service is saturated, so queue growth
+// and 429 backpressure are measured rather than hidden. Rejected
+// submissions honor the service's Retry-After before resubmitting. The mix
+// is deterministic in -rng: -dup resubmits in-flight requests (exercising
+// request coalescing and peer singleflight), -recost resubmits completed
+// requests (exercising the cache tiers), and the remainder are fresh seeds
+// that must train.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pactrain/internal/loadgen"
+)
+
+func main() {
+	targets := flag.String("targets", "", "comma-separated base URLs of pactrain-serve instances (required)")
+	count := flag.Int("count", 24, "total arrivals to generate")
+	rate := flag.Float64("rate", 40, "open-loop arrival rate (submissions/sec)")
+	dup := flag.Float64("dup", 0.5, "duplicate fraction of the mix (resubmits of issued requests)")
+	recost := flag.Float64("recost", 0.25, "recost fraction of the mix (resubmits of completed requests)")
+	exp := flag.String("exp", "ablation-tern", "experiment id every submission requests")
+	quick := flag.Bool("quick", true, "submit quick grids")
+	world := flag.Int("world", 2, "workers per submitted grid")
+	samples := flag.Int("samples", 64, "synthetic training samples per submission")
+	seed := flag.Uint64("seed", 100, "first config seed for unique submissions")
+	rng := flag.Int64("rng", 1, "mix-draw RNG seed (same seed, same arrival sequence)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "whole-run deadline including completions")
+	asJSON := flag.Bool("json", false, "emit the result as JSON instead of text")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "pactrain-loadgen: -targets is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			urls = append(urls, strings.TrimRight(t, "/"))
+		}
+	}
+
+	profile := loadgen.Profile{
+		Count:      *count,
+		Rate:       *rate,
+		DupFrac:    *dup,
+		RecostFrac: *recost,
+		Experiment: *exp,
+		Quick:      *quick,
+		World:      *world,
+		Samples:    *samples,
+		BaseSeed:   *seed,
+		RNGSeed:    *rng,
+		Timeout:    *timeout,
+	}
+	if !*quiet {
+		profile.Log = os.Stderr
+	}
+	res, err := loadgen.Run(urls, profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pactrain-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "pactrain-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("arrivals      %d (%d unique / %d duplicate / %d recost)\n",
+			res.Arrivals, res.Unique, res.Duplicate, res.Recost)
+		fmt.Printf("accepted      %d (%d coalesced, %d retried after 429, %d failed)\n",
+			res.Accepted, res.Coalesced, res.Retried, res.Failed)
+		fmt.Printf("throughput    %.2f jobs/sec over %.2fs wall\n", res.JobsPerSec, res.WallSeconds)
+		fmt.Printf("submit-to-done p50 %.3fs  p99 %.3fs\n", res.P50DoneSeconds, res.P99DoneSeconds)
+		fmt.Printf("trainings     %d (%.2f per arrival)\n", res.TrainedDelta, res.TrainFraction)
+		fmt.Printf("cache         hit ratio %.2f, %d peer hits\n", res.CacheHitRatio, res.PeerHitsDelta)
+	}
+	if res.Failed > 0 {
+		os.Exit(1)
+	}
+}

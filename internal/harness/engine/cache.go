@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"pactrain/internal/core"
@@ -15,6 +16,22 @@ import (
 // fingerprint's coverage changes; bump it on either.
 const cacheVersion = 1
 
+// CacheBackend abstracts the engine's result store: anything that can
+// resolve a config fingerprint to a recorded Result. The content-addressed
+// on-disk Cache is the canonical implementation; the cache-peer protocol
+// (peer.go) is layered on top of whatever backend an engine owns, serving
+// its entries — and its in-flight trainings — to sibling instances.
+// Implementations must be safe for concurrent use.
+type CacheBackend interface {
+	// Load fetches the Result for a fingerprint; ok is false on any miss.
+	Load(fp string) (*core.Result, bool)
+	// Store persists a Result under a fingerprint.
+	Store(fp string, res *core.Result) error
+	// Age reports how many seconds ago the entry was written (0 when
+	// unknown) — telemetry only, never a correctness input.
+	Age(fp string) float64
+}
+
 // Cache persists training Results as one JSON file per config fingerprint.
 // A hit returns the Result of a previous process's identical run, which the
 // experiments then re-cost under whatever bandwidths they need — the same
@@ -23,9 +40,16 @@ const cacheVersion = 1
 //
 // Entries are written atomically (temp file + rename), so a cache directory
 // shared by concurrent processes serves at worst a miss, never a torn read.
+// The in-process mutex serializes Store against Sweep: without it a sweep
+// scanning a stale entry could delete the fresh bytes a concurrent Store
+// renamed into place between the sweep's read and its remove.
 type Cache struct {
+	mu  sync.Mutex
 	dir string
 }
+
+// Cache is the canonical CacheBackend.
+var _ CacheBackend = (*Cache)(nil)
 
 // cacheEntry is the on-disk envelope.
 type cacheEntry struct {
@@ -55,6 +79,28 @@ func entryCurrent(res *core.Result) bool {
 	return res.CommLog == nil || len(res.CommLog.BucketElems) > 0
 }
 
+// encodeEntry marshals a Result into the on-disk (and on-wire, peer.go)
+// envelope. Wall time is a property of the recording process, so it is
+// zeroed: an entry must read back the same whether it was written by this
+// process, another process, or served over the peer protocol.
+func encodeEntry(res *core.Result) ([]byte, error) {
+	cp := *res
+	cp.WallSeconds = 0
+	return json.Marshal(cacheEntry{Version: cacheVersion, Result: &cp})
+}
+
+// decodeEntry unmarshals an envelope; ok is false on corrupt bytes, version
+// skew, or an entry missing data the current schema records.
+func decodeEntry(raw []byte) (*core.Result, bool) {
+	var entry cacheEntry
+	if err := json.Unmarshal(raw, &entry); err != nil || entry.Version != cacheVersion ||
+		entry.Result == nil || !entryCurrent(entry.Result) {
+		return nil, false
+	}
+	entry.Result.WallSeconds = 0
+	return entry.Result, true
+}
+
 // Load fetches the Result for a fingerprint; ok is false on miss, version
 // skew, a corrupt entry, or an entry missing data the current schema
 // records (all treated as misses).
@@ -63,14 +109,7 @@ func (c *Cache) Load(fp string) (*core.Result, bool) {
 	if err != nil {
 		return nil, false
 	}
-	var entry cacheEntry
-	if err := json.Unmarshal(raw, &entry); err != nil || entry.Version != cacheVersion ||
-		entry.Result == nil || !entryCurrent(entry.Result) {
-		return nil, false
-	}
-	// Wall time is a property of the recorded process, meaningless here.
-	entry.Result.WallSeconds = 0
-	return entry.Result, true
+	return decodeEntry(raw)
 }
 
 // Age returns how many seconds ago the entry for a fingerprint was
@@ -89,12 +128,12 @@ func (c *Cache) Age(fp string) float64 {
 
 // Store persists a Result under a fingerprint.
 func (c *Cache) Store(fp string, res *core.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return err
 	}
-	cp := *res
-	cp.WallSeconds = 0
-	raw, err := json.Marshal(cacheEntry{Version: cacheVersion, Result: &cp})
+	raw, err := encodeEntry(res)
 	if err != nil {
 		return err
 	}
@@ -131,13 +170,23 @@ func (s SweepResult) String() string {
 	return fmt.Sprintf("swept %d of %d cache entries (%d kept)", s.Swept, s.Scanned, s.Kept)
 }
 
+// sweepTmpGrace is how old a temp file must be before a sweep treats it as
+// orphaned. A temp file younger than this may belong to a live writer — in
+// another process, or (pre-mutex) this one — and deleting it would fail that
+// writer's rename, losing a freshly trained Result from the cache.
+const sweepTmpGrace = 10 * time.Minute
+
 // Sweep deletes entries that can never hit again — version skew from an
 // older cacheVersion, corrupt or truncated JSON, and recorded logs missing
 // the current schema's bucket geometry (entryCurrent) — plus temp files
-// orphaned by a crashed writer. Without it stale entries accumulate
+// orphaned by a crashed writer (older than sweepTmpGrace; younger ones may
+// have a live writer behind them). Without it stale entries accumulate
 // forever, since Load treats them as silent misses. A missing cache
-// directory sweeps nothing.
+// directory sweeps nothing. The cache mutex is held throughout, so an
+// in-process Store can never interleave with the scan.
 func (c *Cache) Sweep() (SweepResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var sr SweepResult
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -154,6 +203,12 @@ func (c *Cache) Sweep() (SweepResult, error) {
 		path := filepath.Join(c.dir, name)
 		if strings.Contains(name, ".tmp-") {
 			sr.Scanned++
+			if info, err := de.Info(); err == nil && time.Since(info.ModTime()) < sweepTmpGrace {
+				// A live writer (another process) may still hold this temp
+				// file; leave it for a later sweep.
+				sr.Kept++
+				continue
+			}
 			if err := os.Remove(path); err != nil {
 				return sr, err
 			}

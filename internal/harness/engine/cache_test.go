@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentStoreLoadSweep hammers one cache with concurrent
+// writers, readers, and a sweeping goroutine (run under -race by the normal
+// test invocation). The sharpest interleaving it targets: a stale entry
+// exists under some name, a Store renames fresh valid bytes over it, and a
+// concurrent Sweep that already judged the name stale must not delete the
+// fresh bytes. Every fingerprint stored during the run must load afterward.
+func TestCacheConcurrentStoreLoadSweep(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c := NewCache(dir)
+	res := testResult()
+
+	const writers = 4
+	const iters = 25
+
+	// Seed every name the writers will use with a stale (version-skewed)
+	// entry, so sweeps constantly have deletions pending on names that
+	// concurrent Stores are overwriting with fresh bytes.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < iters; i++ {
+			name := fmt.Sprintf("fp%d%d", w, i)
+			writeFile(t, filepath.Join(dir, name+".json"), `{"version":0,"result":{}}`)
+		}
+	}
+
+	stop := make(chan struct{})
+	var sweeps sync.WaitGroup
+	sweeps.Add(1)
+	go func() {
+		defer sweeps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Sweep(); err != nil {
+				t.Errorf("sweep: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fp := fmt.Sprintf("fp%d%d", w, i)
+				if err := c.Store(fp, res); err != nil {
+					t.Errorf("store %s: %v", fp, err)
+					return
+				}
+				// A just-stored entry may race a sweep that deletes the
+				// stale seed — but never the fresh bytes, so a load after
+				// Store returns must always hit.
+				if _, ok := c.Load(fp); !ok {
+					t.Errorf("entry %s unreadable immediately after store", fp)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	sweeps.Wait()
+
+	// Every stored entry survived the sweeps.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < iters; i++ {
+			fp := fmt.Sprintf("fp%d%d", w, i)
+			if _, ok := c.Load(fp); !ok {
+				t.Fatalf("entry %s lost after concurrent sweeps", fp)
+			}
+		}
+	}
+	// And a final sweep agrees: all current, nothing to delete.
+	sr, err := c.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * iters; sr.Kept != want || sr.Swept != 0 {
+		t.Fatalf("final sweep %+v, want %d kept / 0 swept", sr, want)
+	}
+}
+
+// TestCacheStoreConcurrentSameFingerprint: concurrent stores of the same
+// fingerprint (two processes finishing the same training would do this via
+// rename; in-process the mutex serializes them) leave one valid entry.
+func TestCacheStoreConcurrentSameFingerprint(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c := NewCache(dir)
+	res := testResult()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Store("samefp", res); err != nil {
+				t.Errorf("store: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if _, ok := c.Load("samefp"); !ok {
+		t.Fatal("entry unreadable after concurrent same-key stores")
+	}
+	// No temp files may leak from the concurrent writers.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files left in cache dir, want exactly the entry", len(entries))
+	}
+}

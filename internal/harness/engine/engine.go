@@ -19,6 +19,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"runtime"
 	"sync"
 
@@ -45,6 +46,12 @@ type Stats struct {
 	Deduped int `json:"deduped"`
 	// CacheHits counts submissions satisfied from the on-disk cache.
 	CacheHits int `json:"cache_hits"`
+	// PeerHits counts submissions satisfied over the cache-peer protocol
+	// (peer.go); PeerMisses and PeerErrors count per-peer requests that
+	// answered "no entry" or failed outright.
+	PeerHits   int `json:"peer_hits"`
+	PeerMisses int `json:"peer_misses"`
+	PeerErrors int `json:"peer_errors"`
 }
 
 // EventKind classifies one step of a submission's lifecycle.
@@ -69,6 +76,9 @@ const (
 	// heartbeats (core.Progress); Progress carries the payload. Appended
 	// after the lifecycle kinds so their numeric values never move.
 	EventProgress
+	// EventPeerHit fires when a submission was satisfied by a cache peer
+	// (Event.Peer names it). Appended last; numeric values never move.
+	EventPeerHit
 )
 
 // String names the kind for logs and API payloads.
@@ -86,6 +96,8 @@ func (k EventKind) String() string {
 		return "train-done"
 	case EventProgress:
 		return "progress"
+	case EventPeerHit:
+		return "peer-hit"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -109,6 +121,9 @@ type Event struct {
 	// CacheAgeSeconds is, on an EventCacheHit, how long ago the served
 	// entry was written (0 when unknown).
 	CacheAgeSeconds float64
+	// Peer is, on an EventPeerHit, the base URL of the peer that served
+	// the entry (empty on every other kind).
+	Peer string
 	// Stats snapshots the engine counters just after the event.
 	Stats Stats
 }
@@ -119,6 +134,21 @@ type Options struct {
 	Parallelism int
 	// CacheDir enables the on-disk result cache when non-empty.
 	CacheDir string
+	// Cache, when non-nil, supplies the result store directly and takes
+	// precedence over CacheDir. The default (CacheDir) backend is the
+	// on-disk Cache; tests and embedders may substitute any CacheBackend.
+	Cache CacheBackend
+	// PeerURLs lists sibling instances' base URLs for the cache-peer
+	// protocol (peer.go): a local cache miss consults each peer before the
+	// engine commits to training. Empty disables peering.
+	PeerURLs []string
+	// PeerID names this instance in the peer protocol. The resolving-vs-
+	// resolving race is broken by total order on IDs (smaller trains), so
+	// IDs must be unique and stable across the peer group.
+	PeerID string
+	// PeerClient overrides the HTTP client used for peer fetches (nil uses
+	// a default with a timeout above the server's long-poll cap).
+	PeerClient *http.Client
 	// MemoLimit bounds the in-memory singleflight Result memo (0 =
 	// unlimited, the historical behavior). The memo is the cross-experiment
 	// dedup economy, but a long-lived process serving many distinct configs
@@ -145,10 +175,13 @@ type Options struct {
 // every experiment in a process.
 type Engine struct {
 	sem       chan struct{}
-	cache     *Cache
+	cache     CacheBackend
 	log       io.Writer
 	onEvent   func(Event)
 	memoLimit int
+	peers     []string
+	peerID    string
+	peerHTTP  *http.Client
 
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -166,8 +199,13 @@ type Engine struct {
 // trains; later submitters wait on done and share the outcome.
 type call struct {
 	done chan struct{}
-	res  *core.Result
-	err  error
+	// training is closed once the owner commits to training locally —
+	// after the disk cache and every peer have missed. The peer server
+	// reports a call "resolving" before the latch closes and "training"
+	// after; only the latter is a promise a remote instance may wait on.
+	training chan struct{}
+	res      *core.Result
+	err      error
 }
 
 // New builds an engine.
@@ -184,9 +222,13 @@ func New(opt Options) *Engine {
 	// goroutines. Kernel chunking never changes results (internal/par), so
 	// this is purely a scheduling decision.
 	par.SetBudget(runtime.GOMAXPROCS(0) / opt.Parallelism)
-	var cache *Cache
-	if opt.CacheDir != "" {
+	cache := opt.Cache
+	if cache == nil && opt.CacheDir != "" {
 		cache = NewCache(opt.CacheDir)
+	}
+	peerHTTP := opt.PeerClient
+	if peerHTTP == nil {
+		peerHTTP = &http.Client{Timeout: peerClientTimeout}
 	}
 	return &Engine{
 		sem:       make(chan struct{}, opt.Parallelism),
@@ -194,6 +236,9 @@ func New(opt Options) *Engine {
 		log:       opt.Log,
 		onEvent:   opt.OnEvent,
 		memoLimit: opt.MemoLimit,
+		peers:     opt.PeerURLs,
+		peerID:    opt.PeerID,
+		peerHTTP:  peerHTTP,
 		inflight:  make(map[string]*call),
 		persisted: make(map[string]bool),
 	}
@@ -233,13 +278,13 @@ func (e *Engine) Run(job Job) (*core.Result, error) {
 		e.emit(EventDeduped, job.Label, fp, sim, c.err)
 		return c.res, c.err
 	}
-	c := &call{done: make(chan struct{})}
+	c := &call{done: make(chan struct{}), training: make(chan struct{})}
 	e.inflight[fp] = c
 	e.mu.Unlock()
 	e.emit(EventSubmitted, job.Label, fp, 0, nil)
 
 	var persisted bool
-	c.res, persisted, c.err = e.execute(job, fp)
+	c.res, persisted, c.err = e.execute(job, fp, c)
 	close(c.done)
 	e.mu.Lock()
 	if c.err != nil {
@@ -281,10 +326,10 @@ func (e *Engine) evictLocked() {
 	e.completed = kept
 }
 
-// execute resolves a job the first submitter owns: disk cache, then a
-// pool-limited training run. The bool reports whether the Result is safely
-// on disk — the precondition for memo eviction.
-func (e *Engine) execute(job Job, fp string) (*core.Result, bool, error) {
+// execute resolves a job the first submitter owns: disk cache, then the
+// cache peers, then a pool-limited training run. The bool reports whether
+// the Result is safely on disk — the precondition for memo eviction.
+func (e *Engine) execute(job Job, fp string, c *call) (*core.Result, bool, error) {
 	if e.cache != nil {
 		if res, ok := e.cache.Load(fp); ok {
 			e.mu.Lock()
@@ -299,7 +344,26 @@ func (e *Engine) execute(job Job, fp string) (*core.Result, bool, error) {
 			return res, true, nil
 		}
 	}
+	if len(e.peers) > 0 {
+		if res, ok := e.consultPeers(job, fp); ok {
+			// Write through to the local cache so the entry is served
+			// from disk next time, and so the memo entry is evictable.
+			persisted := false
+			if e.cache != nil {
+				if err := e.cache.Store(fp, res); err != nil {
+					e.logf("engine: %-32s %s cache store failed: %v", job.Label, fp, err)
+				} else {
+					persisted = true
+				}
+			}
+			return res, persisted, nil
+		}
+	}
 
+	// Local and peer misses exhausted: commit to training. The latch tells
+	// the peer server this call is now a promise remote instances may wait
+	// on (see peer.go).
+	close(c.training)
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 
@@ -385,18 +449,23 @@ func (e *Engine) Stats() Stats {
 }
 
 // SweepCache removes stale and corrupt entries from the on-disk cache (see
-// Cache.Sweep); an engine without a cache sweeps nothing.
+// Cache.Sweep); an engine without a sweepable cache sweeps nothing.
 func (e *Engine) SweepCache() (SweepResult, error) {
-	if e.cache == nil {
-		return SweepResult{}, nil
+	if s, ok := e.cache.(interface{ Sweep() (SweepResult, error) }); ok {
+		return s.Sweep()
 	}
-	return e.cache.Sweep()
+	return SweepResult{}, nil
 }
 
 // Summary renders the counters as one progress line.
 func (s Stats) Summary() string {
-	return fmt.Sprintf("%d jobs submitted: %d trained, %d deduplicated, %d cache hits",
+	base := fmt.Sprintf("%d jobs submitted: %d trained, %d deduplicated, %d cache hits",
 		s.Submitted, s.Trained, s.Deduped, s.CacheHits)
+	if s.PeerHits+s.PeerMisses+s.PeerErrors > 0 {
+		base += fmt.Sprintf(", %d peer hits (%d misses, %d errors)",
+			s.PeerHits, s.PeerMisses, s.PeerErrors)
+	}
+	return base
 }
 
 func (e *Engine) logf(format string, args ...any) {

@@ -136,6 +136,14 @@ func TestSweepRemovesStaleAndCorruptEntries(t *testing.T) {
 	writeFile(t, filepath.Join(dir, "stale.json"), `{"version":0,"result":{}}`)
 	writeFile(t, filepath.Join(dir, "corrupt.json"), `{"version":1,`)
 	writeFile(t, filepath.Join(dir, "orphan.tmp-12345"), "partial")
+	// Temp files younger than sweepTmpGrace may have a live writer behind
+	// them; backdate the orphan so the sweep treats it as abandoned, and
+	// leave a fresh one that must survive.
+	old := time.Now().Add(-2 * sweepTmpGrace)
+	if err := os.Chtimes(filepath.Join(dir, "orphan.tmp-12345"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "live.tmp-67890"), "in flight")
 	// A foreign file the sweep must leave alone.
 	writeFile(t, filepath.Join(dir, "README"), "not a cache entry")
 
@@ -143,8 +151,8 @@ func TestSweepRemovesStaleAndCorruptEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sr.Scanned != 4 || sr.Swept != 3 || sr.Kept != 1 {
-		t.Fatalf("sweep %+v, want 4 scanned / 3 swept / 1 kept", sr)
+	if sr.Scanned != 5 || sr.Swept != 3 || sr.Kept != 2 {
+		t.Fatalf("sweep %+v, want 5 scanned / 3 swept / 2 kept", sr)
 	}
 	if _, ok := c.Load("valid"); !ok {
 		t.Fatal("sweep removed the valid entry")
@@ -154,17 +162,19 @@ func TestSweepRemovesStaleAndCorruptEntries(t *testing.T) {
 			t.Fatalf("%s survived the sweep", gone)
 		}
 	}
-	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
-		t.Fatal("sweep removed a foreign file")
+	for _, kept := range []string{"README", "live.tmp-67890"} {
+		if _, err := os.Stat(filepath.Join(dir, kept)); err != nil {
+			t.Fatalf("sweep removed %s", kept)
+		}
 	}
 
-	// Idempotent: a second sweep finds only the kept entry.
+	// Idempotent: a second sweep finds the kept entry and the live temp.
 	sr, err = c.Sweep()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sr.Scanned != 1 || sr.Swept != 0 || sr.Kept != 1 {
-		t.Fatalf("second sweep %+v, want 1 scanned / 0 swept / 1 kept", sr)
+	if sr.Scanned != 2 || sr.Swept != 0 || sr.Kept != 2 {
+		t.Fatalf("second sweep %+v, want 2 scanned / 0 swept / 2 kept", sr)
 	}
 }
 

@@ -1,0 +1,299 @@
+package engine
+
+// The cache-peer protocol makes N serve instances behave like one logical
+// cache: an engine that misses its local disk cache asks its configured
+// peers before committing to a training. Fingerprints are deterministic and
+// training is deterministic for a fingerprint, so a peer's entry is exactly
+// the bytes this instance would have produced — the protocol only moves
+// work, never changes results.
+//
+// Wire format (one route, mounted by NewPeerServer):
+//
+//	GET {base}/cache/v1/entry/{fp}[?wait=SECONDS]
+//
+//	200  body = the cacheEntry JSON envelope (identical to the on-disk
+//	     file bytes' schema): the peer has the Result.
+//	404  the peer has no entry and no in-flight resolution for fp.
+//	202  body = {"state":"resolving"|"training","id":PEER_ID}: the peer
+//	     has an in-flight submission for fp. "training" means it has
+//	     committed to training (the caller should wait — with ?wait the
+//	     server long-polls completion before answering). "resolving"
+//	     means the peer is itself still consulting cache/peers.
+//
+// Cross-instance singleflight falls out of the 202 states plus one
+// tie-break. Each call carries a `training` latch that is closed only when
+// the owner commits to local training, i.e. after both its disk cache and
+// every peer have missed. A peer that answers "training" will definitely
+// produce the Result, so the client long-polls it instead of training.
+// "resolving" is the symmetric race — both instances are mid-consult for
+// the same fingerprint — and is broken by total order on PeerID: the
+// smaller ID treats the answer as a miss and goes on to train; the larger
+// ID defers (bounded backoff re-poll) until the smaller side either
+// commits ("training"), publishes (200), or gives up (404). The order is
+// total, so at least one instance always makes progress and the mutual
+// wait cannot deadlock. Every failure mode — peer down, malformed body,
+// defer budget exhausted, peer's training failed — degrades to a local
+// training: duplicated work at worst, never a wrong or missing result.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pactrain/internal/core"
+)
+
+const (
+	// peerEntryPrefix is the route under which NewPeerServer resolves
+	// fingerprints; clients append the fingerprint.
+	peerEntryPrefix = "/cache/v1/entry/"
+
+	// peerServerMaxWait caps how long one ?wait long-poll may hold the
+	// server; clients re-poll. Must stay below the client timeout.
+	peerServerMaxWait = 25 * time.Second
+	// peerClientTimeout bounds one peer HTTP request end to end; it leaves
+	// headroom over peerServerMaxWait so a full-length long-poll answers.
+	peerClientTimeout = 30 * time.Second
+	// peerLongPoll is the ?wait the client requests while a peer reports
+	// "training": completion answers immediately, otherwise the poll
+	// returns after this long and the client re-issues it.
+	peerLongPoll = 10 * time.Second
+	// peerMaxBody bounds a peer response body; a recorded Result with full
+	// comm logs is a few MB, so this is generous without being unbounded.
+	peerMaxBody = 128 << 20
+
+	// peerDeferBase/Max bound the backoff between re-polls while deferring
+	// to a lower-ID peer that is still "resolving" (a window of a few
+	// milliseconds in practice).
+	peerDeferBase = 10 * time.Millisecond
+	peerDeferMax  = 250 * time.Millisecond
+	// peerDeferRounds caps defer iterations; past it the engine stops
+	// waiting and trains locally (safe: results are deterministic).
+	peerDeferRounds = 512
+)
+
+// peer wire states beyond plain hit/miss.
+const (
+	peerStateHit       = "hit"
+	peerStateMiss      = "miss"
+	peerStateResolving = "resolving"
+	peerStateTraining  = "training"
+)
+
+// peerPending is the 202 body: the peer has fp in flight.
+type peerPending struct {
+	State string `json:"state"`
+	ID    string `json:"id"`
+}
+
+// NewPeerServer exposes an engine's cache — and its in-flight trainings —
+// to sibling instances over the cache-peer protocol. Mount it alongside the
+// instance's main API (the serve subsystem mounts it under the same mux).
+func NewPeerServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+peerEntryPrefix+"{fp}", func(w http.ResponseWriter, r *http.Request) {
+		fp := r.PathValue("fp")
+		if !validFingerprint(fp) {
+			http.Error(w, "malformed fingerprint", http.StatusBadRequest)
+			return
+		}
+		var wait time.Duration
+		if s := r.URL.Query().Get("wait"); s != "" {
+			sec, err := strconv.ParseFloat(s, 64)
+			if err != nil || sec < 0 {
+				http.Error(w, "malformed wait", http.StatusBadRequest)
+				return
+			}
+			wait = min(time.Duration(sec*float64(time.Second)), peerServerMaxWait)
+		}
+		res, state := e.peerLookup(r.Context(), fp, wait)
+		switch state {
+		case peerStateHit:
+			raw, err := encodeEntry(res)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(raw)
+		case peerStateMiss:
+			http.Error(w, "no entry", http.StatusNotFound)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(peerPending{State: state, ID: e.peerID})
+		}
+	})
+	return mux
+}
+
+// validFingerprint accepts exactly the hex digests core.Config.Fingerprint
+// produces; anything else (path tricks included) is rejected before it can
+// reach a cache path.
+func validFingerprint(fp string) bool {
+	if fp == "" || len(fp) > 128 {
+		return false
+	}
+	for _, r := range fp {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// peerLookup resolves one peer request against this engine: disk cache,
+// then the in-flight table. With wait > 0 a fingerprint in the "training"
+// state long-polls completion for up to that long before answering
+// "training" (the client re-polls).
+func (e *Engine) peerLookup(ctx context.Context, fp string, wait time.Duration) (*core.Result, string) {
+	if e.cache != nil {
+		if res, ok := e.cache.Load(fp); ok {
+			return res, peerStateHit
+		}
+	}
+	e.mu.Lock()
+	c, ok := e.inflight[fp]
+	e.mu.Unlock()
+	if !ok {
+		return nil, peerStateMiss
+	}
+	// Completed calls stay in the table as the singleflight memo, so a
+	// diskless instance still serves peers from memory.
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, peerStateMiss
+		}
+		return c.res, peerStateHit
+	default:
+	}
+	select {
+	case <-c.training:
+	default:
+		return nil, peerStateResolving
+	}
+	if wait <= 0 {
+		return nil, peerStateTraining
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, peerStateMiss
+		}
+		return c.res, peerStateHit
+	case <-timer.C:
+		return nil, peerStateTraining
+	case <-ctx.Done():
+		return nil, peerStateTraining
+	}
+}
+
+// consultPeers asks every configured peer for fp, driving the singleflight
+// dance described in the package comment. ok is true with the peer-served
+// Result; false means every peer missed (or failed) and the caller should
+// train locally.
+func (e *Engine) consultPeers(job Job, fp string) (*core.Result, bool) {
+	backoff := peerDeferBase
+	deferred := 0
+	wait := time.Duration(0)
+	for {
+		anyTraining, anyDefer := false, false
+		for _, peer := range e.peers {
+			res, state, remoteID, err := e.peerFetch(peer, fp, wait)
+			if err != nil {
+				e.mu.Lock()
+				e.stats.PeerErrors++
+				e.mu.Unlock()
+				e.logf("engine: %-32s %s peer %s error: %v", job.Label, fp, peer, err)
+				continue
+			}
+			switch state {
+			case peerStateHit:
+				e.mu.Lock()
+				e.stats.PeerHits++
+				e.mu.Unlock()
+				if e.onEvent != nil {
+					e.onEvent(Event{Kind: EventPeerHit, Label: job.Label, Fingerprint: fp,
+						SimSeconds: res.SimSeconds, Peer: peer, Stats: e.Stats()})
+				}
+				e.logf("engine: %-32s %s peer hit (%s)", job.Label, fp, peer)
+				return res, true
+			case peerStateMiss:
+				e.mu.Lock()
+				e.stats.PeerMisses++
+				e.mu.Unlock()
+			case peerStateTraining:
+				anyTraining = true
+			case peerStateResolving:
+				// Symmetric race: both instances are mid-consult. Total
+				// order on peer IDs breaks it — the smaller ID proceeds
+				// to train, the larger defers.
+				if remoteID < e.peerID {
+					anyDefer = true
+				}
+			}
+		}
+		if !anyTraining && !anyDefer {
+			return nil, false
+		}
+		if anyTraining {
+			// A peer owns the training; the next fetch long-polls its
+			// completion server-side, so no client-side sleep is needed.
+			wait = peerLongPoll
+			continue
+		}
+		deferred++
+		if deferred > peerDeferRounds {
+			e.logf("engine: %-32s %s peer defer budget exhausted; training locally", job.Label, fp)
+			return nil, false
+		}
+		time.Sleep(backoff)
+		backoff = min(backoff*2, peerDeferMax)
+	}
+}
+
+// peerFetch performs one protocol request against one peer base URL.
+func (e *Engine) peerFetch(base, fp string, wait time.Duration) (*core.Result, string, string, error) {
+	url := strings.TrimRight(base, "/") + peerEntryPrefix + fp
+	if wait > 0 {
+		url += fmt.Sprintf("?wait=%g", wait.Seconds())
+	}
+	resp, err := e.peerHTTP.Get(url)
+	if err != nil {
+		return nil, "", "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, peerMaxBody))
+	if err != nil {
+		return nil, "", "", err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res, ok := decodeEntry(body)
+		if !ok {
+			return nil, "", "", fmt.Errorf("peer %s: undecodable entry for %s", base, fp)
+		}
+		return res, peerStateHit, "", nil
+	case http.StatusNotFound:
+		return nil, peerStateMiss, "", nil
+	case http.StatusAccepted:
+		var p peerPending
+		if err := json.Unmarshal(body, &p); err != nil {
+			return nil, "", "", fmt.Errorf("peer %s: undecodable pending body: %w", base, err)
+		}
+		if p.State != peerStateResolving && p.State != peerStateTraining {
+			return nil, "", "", fmt.Errorf("peer %s: unknown pending state %q", base, p.State)
+		}
+		return nil, p.State, p.ID, nil
+	default:
+		return nil, "", "", fmt.Errorf("peer %s: status %d", base, resp.StatusCode)
+	}
+}

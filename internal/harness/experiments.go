@@ -16,6 +16,16 @@ type Definition struct {
 	ID string
 	// Title names the paper artifact the experiment regenerates.
 	Title string
+	// FabricSensitive marks grids whose configs retrain per operating point
+	// (core.Config.FabricSensitive): the controller-driven experiments whose
+	// recorded logs cannot be re-costed across fabrics. These are the
+	// heaviest submissions, so the serve subsystem queues them at low
+	// priority by default.
+	FabricSensitive bool
+	// RecostOnly marks experiments that train nothing — they price
+	// synthesized or recorded logs. These finish in milliseconds, so the
+	// serve subsystem queues them at high priority by default.
+	RecostOnly bool
 	// Run executes the experiment's job grid under the given options.
 	Run func(Options) (Report, error)
 }
@@ -24,30 +34,32 @@ type Definition struct {
 // order `-exp all` executes them).
 func Experiments() []Definition {
 	return []Definition{
-		{"table1", "Table 1 — method-property matrix",
-			func(o Options) (Report, error) { return RunTable1(o) }},
-		{"fig3", "Fig. 3 — relative TTA across WAN bandwidths",
-			func(o Options) (Report, error) { return RunFig3(o) }},
-		{"fig5", "Fig. 5 — accuracy-vs-time curves",
-			func(o Options) (Report, error) { return RunFig5(o) }},
-		{"fig6", "Fig. 6 — final accuracy vs pruning ratio",
-			func(o Options) (Report, error) { return RunFig6(o) }},
-		{"ablation-mt", "Mask Tracker stability-window sweep",
-			func(o Options) (Report, error) { return RunAblationMT(o) }},
-		{"ablation-tern", "pruning-only vs pruning+ternary",
-			func(o Options) (Report, error) { return RunAblationTernary(o) }},
-		{"ablation-topo", "Fig. 4 chained switches vs flat switch",
-			func(o Options) (Report, error) { return RunAblationTopo(o) }},
-		{"ablation-varbw", "variable-constrained bottleneck bandwidth",
-			func(o Options) (Report, error) { return RunAblationVarBW(o) }},
-		{"collectives", "collective-algorithm grid (ring / tree / hierarchical, two-rack fabric)",
-			func(o Options) (Report, error) { return RunCollectives(o) }},
-		{"adaptive", "online compression controller vs static wire formats (WAN fabrics)",
-			func(o Options) (Report, error) { return RunAdaptive(o) }},
-		{"stragglers", "heterogeneous-compute straggler grid (scheme × overlap × severity, Fig. 4 fabric)",
-			func(o Options) (Report, error) { return RunStragglers(o) }},
-		{"largescale", "cluster-scale pricing — 4,096 ranks on a 64-rack hierarchical fabric with one slow rack",
-			func(o Options) (Report, error) { return RunLargeScale(o) }},
+		{ID: "table1", Title: "Table 1 — method-property matrix",
+			Run: func(o Options) (Report, error) { return RunTable1(o) }},
+		{ID: "fig3", Title: "Fig. 3 — relative TTA across WAN bandwidths",
+			Run: func(o Options) (Report, error) { return RunFig3(o) }},
+		{ID: "fig5", Title: "Fig. 5 — accuracy-vs-time curves",
+			Run: func(o Options) (Report, error) { return RunFig5(o) }},
+		{ID: "fig6", Title: "Fig. 6 — final accuracy vs pruning ratio",
+			Run: func(o Options) (Report, error) { return RunFig6(o) }},
+		{ID: "ablation-mt", Title: "Mask Tracker stability-window sweep",
+			Run: func(o Options) (Report, error) { return RunAblationMT(o) }},
+		{ID: "ablation-tern", Title: "pruning-only vs pruning+ternary",
+			Run: func(o Options) (Report, error) { return RunAblationTernary(o) }},
+		{ID: "ablation-topo", Title: "Fig. 4 chained switches vs flat switch",
+			Run: func(o Options) (Report, error) { return RunAblationTopo(o) }},
+		{ID: "ablation-varbw", Title: "variable-constrained bottleneck bandwidth",
+			Run: func(o Options) (Report, error) { return RunAblationVarBW(o) }},
+		{ID: "collectives", Title: "collective-algorithm grid (ring / tree / hierarchical, two-rack fabric)",
+			Run: func(o Options) (Report, error) { return RunCollectives(o) }},
+		{ID: "adaptive", Title: "online compression controller vs static wire formats (WAN fabrics)",
+			FabricSensitive: true,
+			Run:             func(o Options) (Report, error) { return RunAdaptive(o) }},
+		{ID: "stragglers", Title: "heterogeneous-compute straggler grid (scheme × overlap × severity, Fig. 4 fabric)",
+			Run: func(o Options) (Report, error) { return RunStragglers(o) }},
+		{ID: "largescale", Title: "cluster-scale pricing — 4,096 ranks on a 64-rack hierarchical fabric with one slow rack",
+			RecostOnly: true,
+			Run:        func(o Options) (Report, error) { return RunLargeScale(o) }},
 	}
 }
 

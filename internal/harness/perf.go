@@ -65,16 +65,29 @@ type PerfOptions struct {
 	Quick bool
 	// Log receives per-entry progress lines; nil discards them.
 	Log io.Writer
+	// Extra appends caller-supplied benchmarks after the built-in grid —
+	// the hook subsystems outside the harness (the serve load generator)
+	// use to land their entries in the same BENCH_*.json under the same
+	// regression gate. Extra entries run last, in order.
+	Extra []PerfCase
 }
 
 // benchSink defeats dead-code elimination of benchmark bodies.
 var benchSink uint64
 
-// perfCase is one pinned benchmark: setup runs untimed, fn is timed.
-type perfCase struct {
-	name string
-	runs int
-	fn   func()
+// PerfCase is one pinned benchmark: setup runs untimed, Fn is timed, and
+// the fastest of Runs executions is recorded.
+type PerfCase struct {
+	Name string
+	Runs int
+	Fn   func()
+	// Value, when non-nil, switches the entry to value mode: each run
+	// records Value()'s return instead of Fn's wall time (minimum across
+	// Runs, like wall entries). This is how measurements computed inside a
+	// benchmark body — a latency quantile, a work ratio — enter the report
+	// under the same normalization and tolerance as wall times. Fn is
+	// ignored in value mode.
+	Value func() float64
 }
 
 // calibrateSpin is a fixed, allocation-free, single-core integer spin. Its
@@ -130,7 +143,7 @@ func composeCase(world, iters int) func() {
 // encodeCases exercises the parallel compression kernels on a 2.5M-element
 // bucket: TopK's quickselect sparsification and PacTrain's mask-compact
 // ternary encode.
-func encodeCases() []perfCase {
+func encodeCases() []PerfCase {
 	const n = 2_500_000
 	grad := make([]float32, n)
 	rng := tensor.NewRNG(7)
@@ -145,12 +158,12 @@ func encodeCases() []perfCase {
 	}
 	mc.SetMask(mask, n)
 	var buf []float32
-	return []perfCase{
-		{"encode-topk-2.5M", 3, func() {
+	return []PerfCase{
+		{Name: "encode-topk-2.5M", Runs: 3, Fn: func() {
 			p := topk.Encode(grad)
 			benchSink += uint64(len(p.Indices))
 		}},
-		{"encode-ternary-2.5M", 3, func() {
+		{Name: "encode-ternary-2.5M", Runs: 3, Fn: func() {
 			buf = mc.EncodeInto(grad, buf)
 			benchSink += uint64(len(buf))
 		}},
@@ -239,14 +252,14 @@ func trainStepCase(build func() *nn.Model, steps, budget int) func() {
 // modelComputeCases pins the model-compute kernel path: blocked matmuls,
 // the im2col convolution loop, and end-to-end train steps of the MLP and
 // attention lite twins at kernel budgets 1 and GOMAXPROCS.
-func modelComputeCases(quick bool) []perfCase {
+func modelComputeCases(quick bool) []PerfCase {
 	nproc := runtime.GOMAXPROCS(0)
 	mlp := func() *nn.Model { return nn.NewMLP(nn.DefaultLiteConfig(10, 1), 64) }
-	cases := []perfCase{
-		{"matmul-256", 3, matmulCase(256, 10)},
-		{"im2col-conv", 3, im2colConvCase(10)},
-		{"trainstep-mlp-b1", 3, trainStepCase(mlp, 20, 1)},
-		{"trainstep-mlp", 3, trainStepCase(mlp, 20, nproc)},
+	cases := []PerfCase{
+		{Name: "matmul-256", Runs: 3, Fn: matmulCase(256, 10)},
+		{Name: "im2col-conv", Runs: 3, Fn: im2colConvCase(10)},
+		{Name: "trainstep-mlp-b1", Runs: 3, Fn: trainStepCase(mlp, 20, 1)},
+		{Name: "trainstep-mlp", Runs: 3, Fn: trainStepCase(mlp, 20, nproc)},
 	}
 	if !quick {
 		vit := func() *nn.Model {
@@ -254,9 +267,9 @@ func modelComputeCases(quick bool) []perfCase {
 			return nn.NewViTLite(cfg, 4*cfg.Width, 4, 2)
 		}
 		cases = append(cases,
-			perfCase{"matmul-1024", 3, matmulCase(1024, 1)},
-			perfCase{"trainstep-attn-b1", 3, trainStepCase(vit, 8, 1)},
-			perfCase{"trainstep-attn", 3, trainStepCase(vit, 8, nproc)},
+			PerfCase{Name: "matmul-1024", Runs: 3, Fn: matmulCase(1024, 1)},
+			PerfCase{Name: "trainstep-attn-b1", Runs: 3, Fn: trainStepCase(vit, 8, 1)},
+			PerfCase{Name: "trainstep-attn", Runs: 3, Fn: trainStepCase(vit, 8, nproc)},
 		)
 	}
 	return cases
@@ -275,7 +288,7 @@ func RunPerf(opt PerfOptions) *BenchReport {
 		grid = "quick"
 		composeWorlds = []int{64, 1024}
 	}
-	cases := []perfCase{{BenchCalibration, 5, calibrateSpin}}
+	cases := []PerfCase{{Name: BenchCalibration, Runs: 5, Fn: calibrateSpin}}
 	for _, w := range composeWorlds {
 		// Iterations scale inversely with world so every compose entry does
 		// similar total work — a sub-millisecond entry would gate the 10%
@@ -284,28 +297,43 @@ func RunPerf(opt PerfOptions) *BenchReport {
 		if scaled := 200_000 / w; scaled > iters {
 			iters = scaled
 		}
-		cases = append(cases, perfCase{fmt.Sprintf("compose-%d", w), 3, composeCase(w, iters)})
+		cases = append(cases, PerfCase{Name: fmt.Sprintf("compose-%d", w), Runs: 3, Fn: composeCase(w, iters)})
 	}
 	cases = append(cases, encodeCases()...)
 	cases = append(cases, modelComputeCases(opt.Quick)...)
-	cases = append(cases, perfCase{"largescale", 3, func() {
+	cases = append(cases, PerfCase{Name: "largescale", Runs: 3, Fn: func() {
 		if _, err := RunLargeScale(Options{Quick: opt.Quick}); err != nil {
 			panic(err)
 		}
 	}})
+	cases = append(cases, opt.Extra...)
 
 	report := &BenchReport{Grid: grid, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	for _, c := range cases {
+		runs := c.Runs
+		if runs < 1 {
+			runs = 1
+		}
 		best := math.Inf(1)
-		for r := 0; r < c.runs; r++ {
+		for r := 0; r < runs; r++ {
+			if c.Value != nil {
+				if v := c.Value(); v < best {
+					best = v
+				}
+				continue
+			}
 			start := time.Now()
-			c.fn()
+			c.Fn()
 			if d := time.Since(start).Seconds(); d < best {
 				best = d
 			}
 		}
-		logf("perf: %-22s %8.1fms (best of %d)", c.name, best*1e3, c.runs)
-		report.Entries = append(report.Entries, BenchEntry{Name: c.name, Seconds: best, Runs: c.runs})
+		if c.Value != nil {
+			logf("perf: %-22s %8.4f (best of %d)", c.Name, best, runs)
+		} else {
+			logf("perf: %-22s %8.1fms (best of %d)", c.Name, best*1e3, runs)
+		}
+		report.Entries = append(report.Entries, BenchEntry{Name: c.Name, Seconds: best, Runs: runs})
 	}
 	return report
 }

@@ -3,12 +3,15 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"pactrain/internal/collective"
 	"pactrain/internal/core"
 	"pactrain/internal/harness"
+	"pactrain/internal/harness/engine"
 )
 
 // Handler routes the service API:
@@ -25,6 +28,7 @@ import (
 //	GET  /v1/stats            engine counters, job tallies, recent events
 //	GET  /healthz             liveness (503 while draining)
 //	GET  /metrics             Prometheus text exposition
+//	GET  /cache/v1/entry/{fp} cache-peer protocol (engine/peer.go)
 //
 // With Options.PProf, net/http/pprof is additionally served under
 // /debug/pprof/.
@@ -42,6 +46,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The cache-peer protocol (engine/peer.go): sibling instances resolve
+	// fingerprints against this server's cache and in-flight trainings.
+	mux.Handle("/cache/v1/", engine.NewPeerServer(s.engine))
 	if s.opt.PProf {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -75,7 +82,37 @@ type submitResponse struct {
 	Job       JobView `json:"job"`
 }
 
+// clientID identifies the caller for rate limiting: an explicit
+// X-Client-Id header (trusted deployments put a stable identity here), else
+// the remote IP (ports churn per connection and would defeat the bucket).
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// writeTooBusy renders a 429. Every 429 the service emits carries a
+// Retry-After: the typed estimate when the rejection supplied one, else a
+// conservative 1s floor.
+func writeTooBusy(w http.ResponseWriter, err error) {
+	retry := 1
+	var tb *TooBusyError
+	if errors.As(err, &tb) && tb.RetryAfterSec > 0 {
+		retry = tb.RetryAfterSec
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := s.Admit(clientID(r)); err != nil {
+		writeTooBusy(w, err)
+		return
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -87,12 +124,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrUnknownCollective),
-			errors.Is(err, ErrUnknownOverlap):
+			errors.Is(err, ErrUnknownOverlap), errors.Is(err, ErrUnknownPriority):
 			writeError(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
+			writeTooBusy(w, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)
 		}

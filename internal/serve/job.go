@@ -25,6 +25,12 @@ type SubmitRequest struct {
 	// ("none", "backward"; empty = none). "none" and empty coalesce onto
 	// the same job.
 	Overlap string `json:"overlap,omitempty"`
+	// Priority overrides the admission queue level ("high" or "low");
+	// empty infers it from the experiment: recost-only and quick
+	// submissions queue high, fabric-sensitive and full grids queue low.
+	// Priority never participates in coalescing — a high-priority twin
+	// instead promotes the queued job both share.
+	Priority string `json:"priority,omitempty"`
 }
 
 // JobState is a job's lifecycle position.
@@ -61,7 +67,10 @@ type job struct {
 	// time so they never participate in the coalescing key.
 	opts harness.Options
 
-	state     JobState
+	state JobState
+	// priority is the admission queue level the job waits at; a queued
+	// low-priority job may be promoted by a coalescing high-priority twin.
+	priority  Priority
 	errMsg    string
 	coalesced int // extra submissions folded onto this job
 	progress  Progress
@@ -102,6 +111,8 @@ type JobView struct {
 	ID         string   `json:"id"`
 	Experiment string   `json:"experiment"`
 	State      JobState `json:"state"`
+	// Priority is the admission queue level the job was (or is) waiting at.
+	Priority Priority `json:"priority"`
 	// Coalesced counts submissions beyond the first that were folded onto
 	// this job while it was in flight.
 	Coalesced  int           `json:"coalesced"`
@@ -119,6 +130,7 @@ func (j *job) view() JobView {
 		ID:         j.id,
 		Experiment: j.def.ID,
 		State:      j.state,
+		Priority:   j.priority,
 		Coalesced:  j.coalesced,
 		Options: SubmitRequest{
 			Experiment: j.def.ID,

@@ -74,6 +74,22 @@ type Options struct {
 	Workers int
 	// QueueDepth bounds accepted-but-unstarted jobs (default 64).
 	QueueDepth int
+	// RateLimit enables the per-client token bucket: each client may submit
+	// this many requests per second sustained (RateBurst at once), beyond
+	// which submissions 429 with a Retry-After. 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity per client (default 1 when
+	// RateLimit is set).
+	RateBurst int
+	// CachePeers lists sibling instances' base URLs for the engine's
+	// cache-peer protocol: a local cache miss consults each peer before
+	// training (engine.Options.PeerURLs). The peer endpoint is served under
+	// /cache/v1/ on this server's own Handler.
+	CachePeers []string
+	// PeerID names this instance in the peer protocol; required unique and
+	// stable across the peer group when CachePeers is set (the protocol
+	// breaks symmetric races by ID order).
+	PeerID string
 	// HistoryLimit bounds retained job records (default 256): once the
 	// server holds more, the oldest finished jobs — and their report bytes
 	// — are evicted, so a long-lived process does not grow without bound.
@@ -107,10 +123,15 @@ type Server struct {
 	inflight  map[string]*job // submission key -> queued/running job
 	running   map[string]*job // job id -> running job (event attribution)
 	seq       int
-	queue     chan *job
+	q         jobQueue
+	qcond     *sync.Cond // signalled on push and close; waits under s.mu
+	drain     drainEstimator
+	limiter   *rateLimiter
 	draining  bool
 	recent    []engine.Event
 	simServed float64
+	// rateLimitedTotal counts submissions rejected by the token bucket.
+	rateLimitedTotal int
 	// Lifetime totals: unlike the per-state tallies over s.jobs, these
 	// survive history eviction, so /v1/stats and /metrics agree forever.
 	doneTotal, failedTotal, coalescedTotal int
@@ -164,8 +185,9 @@ func New(opt Options) (*Server, error) {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		running:  make(map[string]*job),
-		queue:    make(chan *job, opt.QueueDepth),
+		limiter:  newRateLimiter(opt.RateLimit, opt.RateBurst),
 	}
+	s.qcond = sync.NewCond(&s.mu)
 	engineLog := opt.Log
 	if opt.LogFormat == "json" {
 		// Structured mode: every observable step is a JSON event line; the
@@ -178,6 +200,8 @@ func New(opt Options) (*Server, error) {
 		MemoLimit:   opt.MemoLimit,
 		Log:         engineLog,
 		OnEvent:     s.onEngineEvent,
+		PeerURLs:    opt.CachePeers,
+		PeerID:      opt.PeerID,
 	})
 
 	sweep, err := s.engine.SweepCache()
@@ -195,12 +219,30 @@ func New(opt Options) (*Server, error) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
+			for {
+				j, ok := s.nextJob()
+				if !ok {
+					return
+				}
 				s.run(j)
 			}
 		}()
 	}
 	return s, nil
+}
+
+// nextJob blocks until the admission queue yields a job (high priority
+// first) or the drained queue closes.
+func (s *Server) nextJob() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.q.depth() == 0 && !s.q.closed {
+		s.qcond.Wait()
+	}
+	if j := s.q.pop(); j != nil {
+		return j, true
+	}
+	return nil, false
 }
 
 // serveMetrics holds the server's typed instrument handles on one
@@ -223,6 +265,14 @@ type serveMetrics struct {
 	cacheSwept      *metrics.Counter
 	draining        *metrics.Counter
 	queueDepth      *metrics.Counter
+	queueDepthHigh  *metrics.Counter
+	queueDepthLow   *metrics.Counter
+	cacheHitRatio   *metrics.Counter
+	drainRate       *metrics.Counter
+	rateLimited     *metrics.Counter
+	peerHits        *metrics.Counter
+	peerMisses      *metrics.Counter
+	peerErrors      *metrics.Counter
 
 	auditRuns         *metrics.Counter
 	auditOracleRegret *metrics.Counter
@@ -252,6 +302,14 @@ func newServeMetrics() *serveMetrics {
 		cacheSwept:        reg.Counter("pactrain_serve_cache_swept_total", "stale or corrupt cache entries removed at startup"),
 		draining:          reg.Gauge("pactrain_serve_draining", "1 while graceful shutdown is in progress"),
 		queueDepth:        reg.Gauge("pactrain_serve_queue_depth", "submissions sitting in the accept queue"),
+		queueDepthHigh:    reg.Gauge("pactrain_serve_queue_depth_high", "submissions waiting at high priority (recost/quick lane)"),
+		queueDepthLow:     reg.Gauge("pactrain_serve_queue_depth_low", "submissions waiting at low priority (grid-training lane)"),
+		cacheHitRatio:     reg.Gauge("pactrain_serve_cache_hit_ratio", "fraction of resolved grid cells served from cache (disk or peer) rather than trained"),
+		drainRate:         reg.Gauge("pactrain_serve_drain_rate_jobs_per_sec", "observed job completion rate (EWMA), the basis for Retry-After"),
+		rateLimited:       reg.Counter("pactrain_serve_rate_limited_total", "submissions rejected by the per-client rate limit"),
+		peerHits:          reg.Counter("pactrain_cache_peer_hits", "grid cells satisfied over the cache-peer protocol"),
+		peerMisses:        reg.Counter("pactrain_cache_peer_misses", "peer requests that answered no-entry"),
+		peerErrors:        reg.Counter("pactrain_cache_peer_errors", "peer requests that failed outright"),
 		auditRuns:         reg.Counter("pactrain_audit_runs_total", "training runs audited into counterfactual ledgers"),
 		auditOracleRegret: reg.Counter("pactrain_audit_oracle_regret_seconds_total", "audited controller cost above the per-round oracle, summed over runs"),
 		auditStaticRegret: reg.Gauge("pactrain_audit_static_regret_seconds_total", "audited controller cost versus the best static format, summed over runs (negative: the controller won)"),
@@ -281,6 +339,13 @@ func (s *Server) Submit(req SubmitRequest) (JobView, bool, error) {
 		return JobView{}, false, fmt.Errorf("%w: %q (valid names: %s)",
 			ErrUnknownOverlap, req.Overlap, strings.Join(ddp.OverlapNames(), ", "))
 	}
+	prio, override, err := parsePriority(req.Priority)
+	if err != nil {
+		return JobView{}, false, err
+	}
+	if !override {
+		prio = inferPriority(def, req.Quick)
+	}
 	opts := harness.Options{
 		Quick:      req.Quick,
 		World:      req.World,
@@ -299,27 +364,56 @@ func (s *Server) Submit(req SubmitRequest) (JobView, bool, error) {
 	if j, ok := s.inflight[key]; ok {
 		j.coalesced++
 		s.coalescedTotal++
+		if prio == PriorityHigh && j.priority == PriorityLow && j.state == JobQueued {
+			// The coalescing upgrade: a high-priority twin lends its
+			// urgency to the queued job both now share.
+			s.q.promote(j)
+		}
 		return j.view(), true, nil
+	}
+	if s.q.depth() >= s.opt.QueueDepth {
+		return JobView{}, false, &TooBusyError{
+			Err:           fmt.Errorf("%w (depth %d)", ErrQueueFull, s.opt.QueueDepth),
+			RetryAfterSec: s.drain.retryAfter(s.q.depth()),
+		}
 	}
 	s.seq++
 	j := &job{
-		id:      fmt.Sprintf("j%06d", s.seq),
-		key:     key,
-		def:     def,
-		opts:    opts,
-		state:   JobQueued,
-		created: time.Now(),
+		id:       fmt.Sprintf("j%06d", s.seq),
+		key:      key,
+		def:      def,
+		opts:     opts,
+		priority: prio,
+		state:    JobQueued,
+		created:  time.Now(),
 	}
-	select {
-	case s.queue <- j:
-	default:
-		return JobView{}, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
-	}
+	s.q.push(j)
+	s.qcond.Signal()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.inflight[key] = j
 	s.publishLocked(j, EventPayload{Type: "state", State: JobQueued})
 	return j.view(), false, nil
+}
+
+// Admit spends one rate-limit token for a client, returning a TooBusyError
+// wrapping ErrRateLimited when the bucket is empty. A server without a
+// configured RateLimit admits everything.
+func (s *Server) Admit(client string) error {
+	if s.limiter == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok, wait := s.limiter.allow(client, time.Now())
+	if ok {
+		return nil
+	}
+	s.rateLimitedTotal++
+	return &TooBusyError{
+		Err:           fmt.Errorf("%w (client %s)", ErrRateLimited, client),
+		RetryAfterSec: wait,
+	}
 }
 
 // run executes one job on a worker goroutine.
@@ -362,6 +456,9 @@ func (s *Server) run(j *job) {
 
 	s.mu.Lock()
 	j.finished = time.Now()
+	// Feed the drain-rate estimate behind queue-full Retry-After while the
+	// completion time is fresh.
+	s.drain.observe(j.finished)
 	if err != nil {
 		j.state = JobFailed
 		j.errMsg = err.Error()
@@ -550,6 +647,16 @@ type StatsView struct {
 	Engine     engine.Stats       `json:"engine"`
 	CacheSweep engine.SweepResult `json:"cache_sweep"`
 	Jobs       JobCounts          `json:"jobs"`
+	// Queue is the admission queue's per-priority depth.
+	Queue QueueCounts `json:"queue"`
+	// CacheHitRatio is the fraction of resolved grid cells served from a
+	// cache — disk or peer — rather than trained (0 before any resolution).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// DrainRatePerSec is the observed job completion rate (EWMA), the basis
+	// for Retry-After on queue-full 429s; 0 until two completions.
+	DrainRatePerSec float64 `json:"drain_rate_per_sec"`
+	// RateLimited counts submissions rejected by the per-client rate limit.
+	RateLimited int `json:"rate_limited"`
 	// SimSecondsServed totals the simulated training seconds of every grid
 	// cell delivered to a client (trained, deduplicated, or cache-hit).
 	SimSecondsServed float64 `json:"sim_seconds_served"`
@@ -570,6 +677,12 @@ type JobCounts struct {
 	Coalesced int `json:"coalesced"`
 }
 
+// QueueCounts is the admission queue's depth by priority level.
+type QueueCounts struct {
+	High int `json:"high"`
+	Low  int `json:"low"`
+}
+
 // EventView is the wire form of one engine event.
 type EventView struct {
 	Kind        string  `json:"kind"`
@@ -588,9 +701,15 @@ func (s *Server) Stats() StatsView {
 		Build:            metrics.BuildInfoLabels(),
 		Engine:           est,
 		CacheSweep:       s.sweep,
+		Queue:            QueueCounts{High: len(s.q.high), Low: len(s.q.low)},
+		DrainRatePerSec:  s.drain.rate,
+		RateLimited:      s.rateLimitedTotal,
 		SimSecondsServed: s.simServed,
 		Draining:         s.draining,
 		UptimeSeconds:    time.Since(s.start).Seconds(),
+	}
+	if resolved := est.CacheHits + est.PeerHits + est.Trained; resolved > 0 {
+		v.CacheHitRatio = float64(est.CacheHits+est.PeerHits) / float64(resolved)
 	}
 	for _, j := range s.jobs {
 		switch j.state {
@@ -635,7 +754,15 @@ func (s *Server) refreshDerivedLocked(v StatsView) {
 	m.engineCacheHits.Set(float64(v.Engine.CacheHits))
 	m.simServed.Set(v.SimSecondsServed)
 	m.cacheSwept.Set(float64(s.sweep.Swept))
-	m.queueDepth.Set(float64(len(s.queue)))
+	m.queueDepth.Set(float64(v.Queue.High + v.Queue.Low))
+	m.queueDepthHigh.Set(float64(v.Queue.High))
+	m.queueDepthLow.Set(float64(v.Queue.Low))
+	m.cacheHitRatio.Set(v.CacheHitRatio)
+	m.drainRate.Set(v.DrainRatePerSec)
+	m.rateLimited.Set(float64(v.RateLimited))
+	m.peerHits.Set(float64(v.Engine.PeerHits))
+	m.peerMisses.Set(float64(v.Engine.PeerMisses))
+	m.peerErrors.Set(float64(v.Engine.PeerErrors))
 	if v.Draining {
 		m.draining.Set(1)
 	} else {
@@ -658,7 +785,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.q.closed = true
+		s.qcond.Broadcast()
 		s.met.draining.Set(1)
 	}
 	s.mu.Unlock()

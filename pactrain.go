@@ -269,6 +269,11 @@ type BenchReport = harness.BenchReport
 // PerfOptions configures a perf-lane run.
 type PerfOptions = harness.PerfOptions
 
+// PerfCase is one pinned benchmark; PerfOptions.Extra lets callers append
+// their own entries (the serve load generator's serve-* measurements) to
+// the same report and regression gate.
+type PerfCase = harness.PerfCase
+
 // BenchTolerance is the calibration-normalized slowdown CI fails on.
 const BenchTolerance = harness.BenchTolerance
 
